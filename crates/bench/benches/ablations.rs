@@ -1,0 +1,66 @@
+//! Ablations of the design choices DESIGN.md §6 calls out:
+//!
+//! * **dissemination trigger** (Algorithm 3 line 10 "repeatedly"): the
+//!   interval between `disseminate()` calls trades latency for block
+//!   count;
+//! * **request batching** (`rqsts.get()` cap): how many requests ride one
+//!   block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagbft_core::Label;
+use dagbft_protocols::{Brb, BrbRequest};
+use dagbft_sim::{Injection, NetworkModel, SimConfig, Simulation};
+
+fn run_with(disseminate_every: u64, max_requests_per_block: usize, instances: usize) -> u64 {
+    let n = 4;
+    let expected = instances * n;
+    let mut config = SimConfig::new(n)
+        .with_max_time(600_000)
+        .with_disseminate_every(disseminate_every)
+        .with_network(NetworkModel::reliable_constant(10))
+        .with_stop_after_deliveries(expected);
+    config.max_requests_per_block = max_requests_per_block;
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    for i in 0..instances {
+        sim.inject(Injection {
+            at: 0,
+            server: i % n,
+            label: Label::new(i as u64),
+            request: BrbRequest::Broadcast(i as u64),
+        });
+    }
+    let outcome = sim.run();
+    assert_eq!(outcome.deliveries.len(), expected);
+    outcome.finished_at
+}
+
+fn bench_disseminate_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/disseminate_interval");
+    for interval in [10u64, 50, 200] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(interval),
+            &interval,
+            |b, interval| {
+                b.iter(|| run_with(*interval, 1024, 4));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_request_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/requests_per_block");
+    for cap in [1usize, 8, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, cap| {
+            b.iter(|| run_with(50, *cap, 16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_disseminate_interval, bench_request_batching
+}
+criterion_main!(benches);

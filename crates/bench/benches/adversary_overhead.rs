@@ -1,0 +1,38 @@
+//! Experiment E12 (cost side): what byzantine behaviour costs the correct
+//! servers — full runs with each adversary role vs a clean run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagbft_bench::{run_dag_brb, run_dag_brb_with_role};
+use dagbft_sim::{NetworkModel, Role};
+
+fn bench_roles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_overhead");
+    group.bench_function(BenchmarkId::new("clean", 4), |b| {
+        b.iter(|| run_dag_brb(4, 2, NetworkModel::default(), 50));
+    });
+    group.bench_function(BenchmarkId::new("silent", 4), |b| {
+        b.iter(|| run_dag_brb_with_role(4, 2, Role::Silent));
+    });
+    group.bench_function(BenchmarkId::new("equivocate", 4), |b| {
+        b.iter(|| run_dag_brb_with_role(4, 2, Role::Equivocate { at_seq: 0 }));
+    });
+    group.bench_function(BenchmarkId::new("selective", 4), |b| {
+        b.iter(|| {
+            run_dag_brb_with_role(
+                4,
+                2,
+                Role::SelectiveBroadcast {
+                    targets: [0].into_iter().collect(),
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_roles
+}
+criterion_main!(benches);

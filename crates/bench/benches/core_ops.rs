@@ -1,0 +1,160 @@
+//! Micro-benchmarks of the framework's hot paths: hashing, signing, block
+//! construction, validation, and DAG insertion — the "light processing"
+//! the paper's §3 argues makes gossip amenable to high-performance
+//! implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dagbft_codec::{decode_from_slice, encode_to_vec};
+use dagbft_core::{Block, BlockDag, BlockRef, Label, LabeledRequest, SeqNum};
+use dagbft_crypto::{hmac_sha256, sha256, KeyRegistry, ServerId};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(std::hint::black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let message = vec![1u8; 256];
+    c.bench_function("hmac_sha256/256B", |b| {
+        b.iter(|| hmac_sha256(std::hint::black_box(&key), std::hint::black_box(&message)));
+    });
+}
+
+fn sample_block(preds: usize, requests: usize) -> (KeyRegistry, Block) {
+    let registry = KeyRegistry::generate(4, 1);
+    let signer = registry.signer(ServerId::new(0)).unwrap();
+    // Fabricate pred refs from content hashes (structure-only benchmark).
+    let pred_refs: Vec<BlockRef> = (0..preds)
+        .map(|i| {
+            Block::build(ServerId::new(0), SeqNum::new(i as u64), vec![], vec![], &signer)
+                .block_ref()
+        })
+        .collect();
+    let rs: Vec<LabeledRequest> = (0..requests)
+        .map(|i| LabeledRequest::encode(Label::new(i as u64), &(i as u64)))
+        .collect();
+    let block = Block::build(ServerId::new(0), SeqNum::new(99), pred_refs, rs, &signer);
+    (registry, block)
+}
+
+fn bench_block_build(c: &mut Criterion) {
+    let registry = KeyRegistry::generate(4, 1);
+    let signer = registry.signer(ServerId::new(0)).unwrap();
+    let mut group = c.benchmark_group("block_build_sign");
+    for requests in [0usize, 16, 256] {
+        let rs: Vec<LabeledRequest> = (0..requests)
+            .map(|i| LabeledRequest::encode(Label::new(i as u64), &(i as u64)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(requests), &rs, |b, rs| {
+            b.iter(|| {
+                Block::build(
+                    ServerId::new(0),
+                    SeqNum::ZERO,
+                    vec![],
+                    std::hint::black_box(rs.clone()),
+                    &signer,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_codec(c: &mut Criterion) {
+    let (_, block) = sample_block(8, 32);
+    let bytes = encode_to_vec(&block);
+    let mut group = c.benchmark_group("block_codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| encode_to_vec(std::hint::black_box(&block)));
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| decode_from_slice::<Block>(std::hint::black_box(&bytes)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_signature_verify(c: &mut Criterion) {
+    let (registry, block) = sample_block(8, 32);
+    let verifier = registry.verifier();
+    c.bench_function("block_verify_signature", |b| {
+        b.iter(|| std::hint::black_box(&block).verify_signature(&verifier));
+    });
+}
+
+fn bench_dag_insert(c: &mut Criterion) {
+    // Measure inserting one round of n blocks into a DAG pre-grown to
+    // `rounds` rounds.
+    let n = 4;
+    let registry = KeyRegistry::generate(n, 1);
+    let signers: Vec<_> = (0..n)
+        .map(|i| registry.signer(ServerId::new(i as u32)).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("dag_insert_round");
+    for rounds in [16u64, 128] {
+        // Pre-build the DAG.
+        let mut dag = BlockDag::new();
+        let mut prev: Vec<BlockRef> = Vec::new();
+        for round in 0..rounds {
+            let mut layer = Vec::new();
+            for (index, signer) in signers.iter().enumerate() {
+                let block = Block::build(
+                    ServerId::new(index as u32),
+                    SeqNum::new(round),
+                    prev.clone(),
+                    vec![],
+                    signer,
+                );
+                dag.insert(block.clone()).unwrap();
+                layer.push(block.block_ref());
+            }
+            prev = layer;
+        }
+        let next_layer: Vec<Block> = signers
+            .iter()
+            .enumerate()
+            .map(|(index, signer)| {
+                Block::build(
+                    ServerId::new(index as u32),
+                    SeqNum::new(rounds),
+                    prev.clone(),
+                    vec![],
+                    signer,
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &(dag, next_layer),
+            |b, (dag, layer)| {
+                b.iter_batched(
+                    || dag.clone(),
+                    |mut dag| {
+                        for block in layer {
+                            dag.insert(block.clone()).unwrap();
+                        }
+                        dag
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_hmac, bench_block_build, bench_block_codec,
+              bench_signature_verify, bench_dag_insert
+}
+criterion_main!(benches);

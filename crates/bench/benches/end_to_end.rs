@@ -1,0 +1,68 @@
+//! End-to-end wall-clock benchmarks for the experiment families E5/E7/E11:
+//! full simulated runs (request → all deliveries) of the DAG embedding vs
+//! the direct baseline, sweeping server counts and instance counts.
+//!
+//! Wall-clock here measures the *simulator* work, which tracks total
+//! protocol work (blocks validated, messages materialized or shipped);
+//! the wire/signature *counts* behind the paper's claims are produced by
+//! the `report_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagbft_bench::{run_dag_brb, run_dag_smr, run_direct_brb};
+use dagbft_sim::NetworkModel;
+
+fn bench_brb_dag_vs_direct_servers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_brb/servers");
+    for n in [4usize, 7, 10] {
+        group.bench_with_input(BenchmarkId::new("dag", n), &n, |b, n| {
+            b.iter(|| run_dag_brb(*n, 1, NetworkModel::default(), 50));
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, n| {
+            b.iter(|| run_direct_brb(*n, 1, NetworkModel::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_brb_parallel_instances(c: &mut Criterion) {
+    let n = 4;
+    let mut group = c.benchmark_group("e2e_brb/instances");
+    for instances in [1usize, 10, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("dag", instances),
+            &instances,
+            |b, instances| {
+                b.iter(|| run_dag_brb(n, *instances, NetworkModel::default(), 50));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct", instances),
+            &instances,
+            |b, instances| {
+                b.iter(|| run_direct_brb(n, *instances, NetworkModel::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_smr_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_smr");
+    for (proposals, leaders) in [(4usize, 4usize), (16, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("dag", format!("{proposals}p_{leaders}l")),
+            &(proposals, leaders),
+            |b, (proposals, leaders)| {
+                b.iter(|| run_dag_smr(4, *proposals, *leaders));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_brb_dag_vs_direct_servers, bench_brb_parallel_instances, bench_smr_commit
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment E10: recovery under message loss via the `FWD` mechanism
+//! (Algorithm 1 lines 10–13), which restores Assumption 1 end-to-end.
+//!
+//! Sweeps the per-message drop rate and measures the wall-clock of a full
+//! broadcast-to-delivery run; the simulated-time and FWD-count series come
+//! from `report_lossy`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagbft_bench::run_dag_brb;
+use dagbft_sim::NetworkModel;
+
+fn bench_drop_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lossy_recovery/drop_rate");
+    for drop_pct in [0u32, 10, 30, 50] {
+        let network = NetworkModel::default().with_drop_rate(drop_pct as f64 / 100.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(drop_pct),
+            &network,
+            |b, network| {
+                b.iter(|| run_dag_brb(4, 1, network.clone(), 50));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_out_of_order_promotion(c: &mut Criterion) {
+    // Worst-case pending-buffer churn: a long chain delivered in reverse.
+    use dagbft_core::{Gossip, GossipConfig};
+    use dagbft_crypto::{KeyRegistry, ServerId};
+
+    let registry = KeyRegistry::generate(2, 1);
+    let mut builder = Gossip::new(
+        ServerId::new(1),
+        GossipConfig::for_n(2),
+        registry.signer(ServerId::new(1)).unwrap(),
+        registry.verifier(),
+    );
+    let chain: Vec<_> = (0..200)
+        .map(|t| builder.disseminate(vec![], t).0)
+        .collect();
+
+    let mut group = c.benchmark_group("gossip/out_of_order_chain");
+    group.sample_size(10);
+    group.bench_function("reverse_200", |b| {
+        b.iter(|| {
+            let mut receiver = Gossip::new(
+                ServerId::new(0),
+                GossipConfig::for_n(2),
+                registry.signer(ServerId::new(0)).unwrap(),
+                registry.verifier(),
+            );
+            for block in chain.iter().rev() {
+                receiver.on_block(block.clone(), 0);
+            }
+            assert_eq!(receiver.dag().len(), 200);
+            receiver
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_drop_rates, bench_out_of_order_promotion
+}
+criterion_main!(benches);

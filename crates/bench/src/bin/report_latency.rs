@@ -1,0 +1,53 @@
+//! Experiment E9: end-to-end latency — the price of batching.
+//!
+//! Constant network latency; sweep the dissemination interval and compare
+//! simulated request→delivery latency of the DAG embedding against the
+//! direct baseline (which sends immediately and is the lower bound).
+//!
+//! Run with: `cargo run --release -p dagbft-bench --bin report_latency`
+
+use dagbft_bench::{brb_labels, dag_costs, direct_costs, f2, run_dag_brb, run_direct_brb};
+use dagbft_sim::NetworkModel;
+
+fn main() {
+    let n = 4;
+    let network = NetworkModel::reliable_constant(10);
+
+    let direct = direct_costs(
+        &run_direct_brb(n, 1, network.clone()),
+        &brb_labels(1),
+    );
+
+    println!("# E9 — delivery latency (ms, simulated; network latency = 10 ms const)\n");
+    println!(
+        "| {:>22} | {:>12} | {:>12} |",
+        "configuration", "mean latency", "wire msgs"
+    );
+    println!("|{}|", "-".repeat(54));
+    println!(
+        "| {:>22} | {:>12} | {:>12} |",
+        "direct (no batching)",
+        f2(direct.mean_latency),
+        direct.messages
+    );
+    for interval in [10u64, 25, 50, 100, 200] {
+        let dag = dag_costs(
+            &run_dag_brb(n, 1, network.clone(), interval),
+            &brb_labels(1),
+        );
+        println!(
+            "| {:>22} | {:>12} | {:>12} |",
+            format!("dag, disseminate {interval}ms"),
+            f2(dag.mean_latency),
+            dag.messages
+        );
+    }
+    println!(
+        "\nReading: the baseline is the latency floor (messages leave immediately);\n\
+         the DAG pays ~3 dissemination rounds (request→block, echo wave, ready\n\
+         wave), so its latency scales with the dissemination interval — and\n\
+         shrinking the interval buys latency with more (nearly empty) blocks.\n\
+         This is the crossover the paper implies: DAGs win on throughput-per-\n\
+         message, direct wins on single-message latency."
+    );
+}

@@ -1,0 +1,75 @@
+//! Experiment E10: FWD recovery under loss.
+//!
+//! Sweeps the per-message drop rate and reports simulated time-to-full-
+//! delivery plus the FWD traffic that repaired the gaps — Assumption 1
+//! restored by Algorithm 1's lines 10–13.
+//!
+//! Run with: `cargo run --release -p dagbft-bench --bin report_lossy`
+
+use dagbft_bench::f2;
+use dagbft_core::Label;
+use dagbft_protocols::{Brb, BrbRequest};
+use dagbft_sim::{Injection, NetworkModel, SimConfig, Simulation};
+
+fn run(drop_rate: f64, seed: u64) -> (u64, u64, u64, f64) {
+    let n = 4;
+    let config = SimConfig::new(n)
+        .with_seed(seed)
+        .with_max_time(600_000)
+        .with_network(NetworkModel::default().with_drop_rate(drop_rate))
+        .with_stop_after_deliveries(n);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    sim.inject(Injection {
+        at: 0,
+        server: 0,
+        label: Label::new(1),
+        request: BrbRequest::Broadcast(1),
+    });
+    let outcome = sim.run();
+    assert_eq!(outcome.deliveries.len(), n, "drop {drop_rate}: no delivery");
+    let latencies = outcome.latencies_for(Label::new(1));
+    let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    (
+        outcome.net.fwd_sent,
+        outcome.net.messages_dropped,
+        outcome.net.messages_sent,
+        mean,
+    )
+}
+
+fn main() {
+    println!("# E10 — FWD recovery under loss (n = 4, 1 broadcast, mean of 5 seeds)\n");
+    println!(
+        "| {:>6} | {:>10} | {:>9} | {:>9} | {:>14} |",
+        "drop %", "mean lat.", "fwd sent", "dropped", "messages sent"
+    );
+    println!("|{}|", "-".repeat(62));
+    for drop_pct in [0u32, 10, 20, 30, 40, 50] {
+        let mut fwd = 0u64;
+        let mut dropped = 0u64;
+        let mut sent = 0u64;
+        let mut latency = 0.0;
+        let seeds = 5;
+        for seed in 0..seeds {
+            let (f, d, s, l) = run(drop_pct as f64 / 100.0, 100 + seed);
+            fwd += f;
+            dropped += d;
+            sent += s;
+            latency += l;
+        }
+        let k = seeds as f64;
+        println!(
+            "| {:>6} | {:>10} | {:>9} | {:>9} | {:>14} |",
+            drop_pct,
+            f2(latency / k),
+            f2(fwd as f64 / k),
+            f2(dropped as f64 / k),
+            f2(sent as f64 / k),
+        );
+    }
+    println!(
+        "\nReading: latency degrades gracefully with loss while delivery always\n\
+         completes; FWD traffic grows with the drop rate, pulling missing\n\
+         predecessors from the servers whose blocks referenced them."
+    );
+}

@@ -1,0 +1,76 @@
+//! Experiment E7: parallel instances "for free".
+//!
+//! Fixed n = 4 servers; sweep the number of concurrent BRB instances and
+//! report the *per-instance* wire cost: on the DAG all instances share the
+//! same blocks, so the per-instance cost collapses; the baseline's
+//! per-instance cost is constant Θ(n²).
+//!
+//! The sweep's independent configurations run concurrently on worker
+//! threads (crossbeam scoped threads).
+//!
+//! Run with: `cargo run --release -p dagbft-bench --bin report_parallel`
+
+use dagbft_bench::{brb_labels, dag_costs, direct_costs, f2, run_dag_brb, run_direct_brb, Costs};
+use dagbft_sim::NetworkModel;
+
+fn main() {
+    let n = 4;
+    let sweep: Vec<usize> = vec![1, 10, 100, 1000];
+
+    // Run all configurations in parallel; results keyed by sweep index.
+    let mut results: Vec<Option<(Costs, Costs)>> = vec![None; sweep.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for instances in &sweep {
+            handles.push(scope.spawn(move |_| {
+                let labels = brb_labels(*instances);
+                let dag = dag_costs(
+                    &run_dag_brb(n, *instances, NetworkModel::default(), 50),
+                    &labels,
+                );
+                let direct =
+                    direct_costs(&run_direct_brb(n, *instances, NetworkModel::default()), &labels);
+                (dag, direct)
+            }));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("sweep worker"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    println!("# E7 — per-instance wire cost vs concurrent instances (n = {n})\n");
+    println!(
+        "| {:>9} | {:>13} | {:>14} | {:>9} | {:>13} | {:>14} | {:>9} | {:>10} |",
+        "instances",
+        "dag msgs/inst",
+        "dag bytes/inst",
+        "dag sigs",
+        "dir msgs/inst",
+        "dir bytes/inst",
+        "dir sigs",
+        "msg ratio"
+    );
+    println!("|{}|", "-".repeat(112));
+    for (instances, result) in sweep.iter().zip(&results) {
+        let (dag, direct) = result.as_ref().expect("filled");
+        let di = *instances as f64;
+        println!(
+            "| {:>9} | {:>13} | {:>14} | {:>9} | {:>13} | {:>14} | {:>9} | {:>10} |",
+            instances,
+            f2(dag.messages as f64 / di),
+            f2(dag.bytes as f64 / di),
+            dag.signatures,
+            f2(direct.messages as f64 / di),
+            f2(direct.bytes as f64 / di),
+            direct.signatures,
+            f2((direct.messages as f64 / di) / (dag.messages as f64 / di)),
+        );
+    }
+    println!(
+        "\nReading: the DAG's per-instance message cost falls roughly as 1/instances\n\
+         (instances share blocks — 'running many instances in parallel for free',\n\
+         §1); the baseline stays flat at Θ(n²) per instance, so the ratio grows\n\
+         linearly with the instance count."
+    );
+}

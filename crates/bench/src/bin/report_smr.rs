@@ -1,0 +1,93 @@
+//! Experiment E11: PBFT-lite SMR embedded in the DAG (the Blockmania use
+//! case) — commit cost and multi-leader scaling.
+//!
+//! Run with: `cargo run --release -p dagbft-bench --bin report_smr`
+
+use dagbft_bench::f2;
+use dagbft_core::Label;
+use dagbft_protocols::{Smr, SmrRequest};
+use dagbft_sim::{Injection, Role, SimConfig, Simulation};
+
+struct SmrRow {
+    proposals: usize,
+    leaders: usize,
+    silent: bool,
+    commits: usize,
+    finished_at: u64,
+    messages: u64,
+    bytes: u64,
+    signatures: u64,
+}
+
+fn run(proposals: usize, leaders: usize, silent: bool) -> SmrRow {
+    let n = 4;
+    // With a silent server, only its deliveries are missing; leaders are
+    // chosen among correct servers (labels 0..leaders, leader = ℓ mod n,
+    // and we keep leaders < 3 when silent so no instance is led by s3).
+    let correct = if silent { n - 1 } else { n };
+    let expected = proposals * correct;
+    let mut config = SimConfig::new(n)
+        .with_max_time(600_000)
+        .with_stop_after_deliveries(expected);
+    if silent {
+        config = config.with_role(3, Role::Silent);
+    }
+    let mut sim: Simulation<Smr<u64>> = Simulation::new(config);
+    for i in 0..proposals {
+        sim.inject(Injection {
+            at: (i as u64) * 3,
+            server: i % correct,
+            label: Label::new((i % leaders) as u64),
+            request: SmrRequest::Propose(5000 + i as u64),
+        });
+    }
+    let outcome = sim.run();
+    SmrRow {
+        proposals,
+        leaders,
+        silent,
+        commits: outcome.deliveries.len(),
+        finished_at: outcome.finished_at,
+        messages: outcome.net.messages_sent,
+        bytes: outcome.net.bytes_sent,
+        signatures: outcome.signatures,
+    }
+}
+
+fn main() {
+    println!("# E11 — PBFT-lite SMR over the block DAG (n = 4)\n");
+    println!(
+        "| {:>9} | {:>7} | {:>6} | {:>8} | {:>9} | {:>9} | {:>10} | {:>6} | {:>13} |",
+        "proposals", "leaders", "silent", "commits", "time (ms)", "wire msgs", "wire bytes", "sigs", "commits/s(sim)"
+    );
+    println!("|{}|", "-".repeat(100));
+    for (proposals, leaders, silent) in [
+        (4usize, 1usize, false),
+        (4, 4, false),
+        (16, 1, false),
+        (16, 4, false),
+        (32, 4, false),
+        (8, 3, true),
+    ] {
+        let row = run(proposals, leaders, silent);
+        let throughput = row.commits as f64 / (row.finished_at as f64 / 1000.0);
+        println!(
+            "| {:>9} | {:>7} | {:>6} | {:>8} | {:>9} | {:>9} | {:>10} | {:>6} | {:>13} |",
+            row.proposals,
+            row.leaders,
+            row.silent,
+            row.commits,
+            row.finished_at,
+            row.messages,
+            row.bytes,
+            row.signatures,
+            f2(throughput),
+        );
+    }
+    println!(
+        "\nReading: more leader labels spread proposals across instances that all\n\
+         share the same blocks (multi-leader 'for free'); a silent follower\n\
+         (f = 1) costs nothing but its own deliveries. Signatures stay equal to\n\
+         the number of blocks built, independent of the proposal count."
+    );
+}

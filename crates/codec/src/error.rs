@@ -1,0 +1,97 @@
+//! Decoding error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding wire bytes fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// A length prefix exceeded the remaining input or the global bound.
+    LengthOutOfBounds {
+        /// The claimed element count.
+        claimed: usize,
+        /// The maximum that would have been accepted.
+        max: usize,
+    },
+    /// A `u8` discriminant did not correspond to any variant.
+    InvalidDiscriminant {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The value found on the wire.
+        value: u8,
+    },
+    /// A byte sequence was not valid UTF-8 where a string was expected.
+    InvalidUtf8,
+    /// A domain-specific invariant was violated (e.g. out-of-range id).
+    Invalid {
+        /// Human-readable description of the violated invariant.
+        reason: &'static str,
+    },
+    /// Input remained after a complete value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, available } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {available} available"
+            ),
+            DecodeError::LengthOutOfBounds { claimed, max } => {
+                write!(f, "length prefix {claimed} exceeds bound {max}")
+            }
+            DecodeError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for type {type_name}")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "byte sequence is not valid utf-8"),
+            DecodeError::Invalid { reason } => write!(f, "invalid value: {reason}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after complete value")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            DecodeError::UnexpectedEof {
+                needed: 4,
+                available: 1,
+            },
+            DecodeError::LengthOutOfBounds {
+                claimed: 10,
+                max: 5,
+            },
+            DecodeError::InvalidDiscriminant {
+                type_name: "T",
+                value: 9,
+            },
+            DecodeError::InvalidUtf8,
+            DecodeError::Invalid { reason: "bad id" },
+            DecodeError::TrailingBytes { remaining: 3 },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.chars().next().unwrap().is_uppercase());
+        }
+    }
+}

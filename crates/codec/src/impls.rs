@@ -1,0 +1,389 @@
+//! [`WireEncode`]/[`WireDecode`] implementations for primitives and containers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+
+use crate::{DecodeError, Reader, WireDecode, WireEncode};
+
+impl WireEncode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl WireDecode for u8 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        reader.read_u8()
+    }
+}
+
+impl WireEncode for u16 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for u16 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        reader.read_u16()
+    }
+}
+
+impl WireEncode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for u32 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        reader.read_u32()
+    }
+}
+
+impl WireEncode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for u64 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        reader.read_u64()
+    }
+}
+
+impl WireEncode for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for i64 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(reader.read_u64()? as i64)
+    }
+}
+
+impl WireEncode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl WireDecode for bool {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match reader.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(DecodeError::InvalidDiscriminant {
+                type_name: "bool",
+                value,
+            }),
+        }
+    }
+}
+
+impl WireEncode for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+}
+
+impl WireDecode for () {
+    fn decode(_reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
+    }
+}
+
+impl WireEncode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl WireDecode for String {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = reader.read_len(1)?;
+        let bytes = reader.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl<T: WireEncode> WireEncode for [T] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = reader.read_len(1)?;
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(reader)?);
+        }
+        Ok(items)
+    }
+}
+
+impl WireEncode for Bytes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self);
+    }
+}
+
+impl WireDecode for Bytes {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = reader.read_len(1)?;
+        Ok(Bytes::copy_from_slice(reader.take(len)?))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match reader.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(reader)?)),
+            value => Err(DecodeError::InvalidDiscriminant {
+                type_name: "Option",
+                value,
+            }),
+        }
+    }
+}
+
+impl<const N: usize> WireEncode for [u8; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl<const N: usize> WireDecode for [u8; N] {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let bytes = reader.take(N)?;
+        let mut buf = [0u8; N];
+        buf.copy_from_slice(bytes);
+        Ok(buf)
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(reader)?, B::decode(reader)?))
+    }
+}
+
+impl<A: WireEncode, B: WireEncode, C: WireEncode> WireEncode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode, C: WireDecode> WireDecode for (A, B, C) {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(reader)?, B::decode(reader)?, C::decode(reader)?))
+    }
+}
+
+impl<K: WireEncode, V: WireEncode> WireEncode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for (key, value) in self {
+            key.encode(out);
+            value.encode(out);
+        }
+    }
+}
+
+impl<K: WireDecode + Ord, V: WireDecode> WireDecode for BTreeMap<K, V> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = reader.read_len(1)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let key = K::decode(reader)?;
+            let value = V::decode(reader)?;
+            map.insert(key, value);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: WireEncode> WireEncode for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: WireDecode + Ord> WireDecode for BTreeSet<T> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = reader.read_len(1)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(T::decode(reader)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<T: WireEncode + ?Sized> WireEncode for &T {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self).encode(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_from_slice, encode_to_vec};
+
+    fn roundtrip<T>(value: T)
+    where
+        T: WireEncode + WireDecode + PartialEq + std::fmt::Debug,
+    {
+        let bytes = encode_to_vec(&value);
+        let back: T = decode_from_slice(&bytes).unwrap();
+        assert_eq!(value, back);
+    }
+
+    #[test]
+    fn roundtrip_integers() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(0u16);
+        roundtrip(u16::MAX);
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(-1i64);
+    }
+
+    #[test]
+    fn roundtrip_bool_and_unit() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+    }
+
+    #[test]
+    fn bool_invalid_discriminant() {
+        let err = decode_from_slice::<bool>(&[2]).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidDiscriminant { .. }));
+    }
+
+    #[test]
+    fn roundtrip_string() {
+        roundtrip(String::new());
+        roundtrip("hello world".to_owned());
+        roundtrip("ünïcödé ⇀ ⇀*".to_owned());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = encode_to_vec(&2u32);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let err = decode_from_slice::<String>(&bytes).unwrap_err();
+        assert_eq!(err, DecodeError::InvalidUtf8);
+    }
+
+    #[test]
+    fn roundtrip_vec_and_option() {
+        roundtrip::<Vec<u64>>(vec![]);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Some(42u32));
+        roundtrip::<Option<u32>>(None);
+        roundtrip(vec![Some(1u8), None, Some(3)]);
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        roundtrip(Bytes::from_static(b""));
+        roundtrip(Bytes::from_static(b"payload"));
+    }
+
+    #[test]
+    fn roundtrip_arrays_and_tuples() {
+        roundtrip([7u8; 32]);
+        roundtrip((1u8, 2u64));
+        roundtrip((1u8, "x".to_owned(), vec![9u16]));
+    }
+
+    #[test]
+    fn roundtrip_maps_and_sets() {
+        let mut map = BTreeMap::new();
+        map.insert(3u32, "three".to_owned());
+        map.insert(1u32, "one".to_owned());
+        roundtrip(map);
+
+        let set: BTreeSet<u16> = [5, 1, 9].into_iter().collect();
+        roundtrip(set);
+    }
+
+    #[test]
+    fn map_encoding_is_order_canonical() {
+        // BTreeMap iterates in key order, so insertion order cannot leak
+        // into the encoding.
+        let mut forwards = BTreeMap::new();
+        forwards.insert(1u8, 10u8);
+        forwards.insert(2u8, 20u8);
+        let mut backwards = BTreeMap::new();
+        backwards.insert(2u8, 20u8);
+        backwards.insert(1u8, 10u8);
+        assert_eq!(encode_to_vec(&forwards), encode_to_vec(&backwards));
+    }
+
+    #[test]
+    fn truncated_vec_rejected() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        let err = decode_from_slice::<Vec<u64>>(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, DecodeError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn reference_encoding_matches_value() {
+        let value = "abc".to_owned();
+        assert_eq!(encode_to_vec(&&value), encode_to_vec(&value));
+    }
+}

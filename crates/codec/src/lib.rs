@@ -1,0 +1,120 @@
+//! Deterministic binary wire format for `dagbft`.
+//!
+//! Blocks are hashed and signed over their *canonical encoding*
+//! (Definition 3.1 of the paper computes `ref` from `n`, `k`, `preds`, and
+//! `rs`), so the codec must be deterministic: the same value always encodes
+//! to the same bytes. This crate provides that format as a pair of traits,
+//! [`WireEncode`] and [`WireDecode`], with implementations for the primitive
+//! and container types the rest of the workspace needs.
+//!
+//! The format is not self-describing; both sides must agree on the schema.
+//! Integers are little-endian fixed width, sequences carry a `u32` length
+//! prefix, and enum-like types encode a `u8` discriminant first.
+//!
+//! # Examples
+//!
+//! ```
+//! use dagbft_codec::{decode_from_slice, encode_to_vec};
+//!
+//! let value: (u64, String) = (7, "hello".to_owned());
+//! let bytes = encode_to_vec(&value);
+//! let back: (u64, String) = decode_from_slice(&bytes)?;
+//! assert_eq!(value, back);
+//! # Ok::<(), dagbft_codec::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod impls;
+mod reader;
+
+pub use error::DecodeError;
+pub use reader::Reader;
+
+/// Types that can be deterministically encoded to bytes.
+///
+/// Implementations must be *canonical*: equal values produce identical byte
+/// strings. This is what makes block hashing and signing well defined.
+pub trait WireEncode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Returns the canonical encoding as a fresh vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types that can be decoded from the wire format produced by [`WireEncode`].
+pub trait WireDecode: Sized {
+    /// Reads one value from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the input is truncated, malformed, or
+    /// violates a length bound.
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes `value` into a fresh byte vector.
+pub fn encode_to_vec<T: WireEncode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a single `T` from `bytes`, requiring that all input is consumed.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::TrailingBytes`] if input remains after decoding,
+/// or any error produced by the underlying [`WireDecode`] implementation.
+pub fn decode_from_slice<T: WireDecode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut reader = Reader::new(bytes);
+    let value = T::decode(&mut reader)?;
+    if reader.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes {
+            remaining: reader.remaining(),
+        });
+    }
+    Ok(value)
+}
+
+/// Maximum element count accepted for any length-prefixed sequence.
+///
+/// This bounds allocation on malformed or hostile input: a decoder never
+/// trusts a length prefix beyond what the remaining input could possibly
+/// hold, and never beyond this constant.
+pub const MAX_SEQUENCE_LEN: usize = 1 << 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let bytes = encode_to_vec(&0xdead_beef_u32);
+        assert_eq!(bytes, vec![0xef, 0xbe, 0xad, 0xde]);
+        let back: u32 = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, 0xdead_beef);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_to_vec(&1_u8);
+        bytes.push(0);
+        let err = decode_from_slice::<u8>(&bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn canonical_equal_values_equal_bytes() {
+        let a = vec!["x".to_owned(), "y".to_owned()];
+        let b = vec!["x".to_owned(), "y".to_owned()];
+        assert_eq!(encode_to_vec(&a), encode_to_vec(&b));
+    }
+}

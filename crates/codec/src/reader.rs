@@ -1,0 +1,170 @@
+//! Cursor over wire bytes.
+
+use crate::{DecodeError, MAX_SEQUENCE_LEN};
+
+/// A forward-only cursor over a byte slice used by [`crate::WireDecode`].
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_codec::Reader;
+///
+/// let mut reader = Reader::new(&[1, 2, 3]);
+/// assert_eq!(reader.read_u8()?, 1);
+/// assert_eq!(reader.remaining(), 2);
+/// # Ok::<(), dagbft_codec::DecodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Number of bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if the input is exhausted.
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] on truncated input.
+    pub fn read_u16(&mut self) -> Result<u16, DecodeError> {
+        let bytes = self.take(2)?;
+        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] on truncated input.
+    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] on truncated input.
+    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        let bytes = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Reads and validates a sequence length prefix.
+    ///
+    /// The claimed length is checked against both [`MAX_SEQUENCE_LEN`] and
+    /// the number of remaining bytes divided by `min_elem_size` (each element
+    /// needs at least that many bytes), so a hostile prefix can never force a
+    /// large allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LengthOutOfBounds`] if the prefix is too large,
+    /// or [`DecodeError::UnexpectedEof`] if the prefix itself is truncated.
+    pub fn read_len(&mut self, min_elem_size: usize) -> Result<usize, DecodeError> {
+        let claimed = self.read_u32()? as usize;
+        let feasible = if min_elem_size == 0 {
+            MAX_SEQUENCE_LEN
+        } else {
+            self.remaining() / min_elem_size
+        };
+        let max = feasible.min(MAX_SEQUENCE_LEN);
+        if claimed > max {
+            return Err(DecodeError::LengthOutOfBounds { claimed, max });
+        }
+        Ok(claimed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_past_end_errors() {
+        let mut reader = Reader::new(&[1, 2]);
+        let err = reader.take(3).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::UnexpectedEof {
+                needed: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn read_len_rejects_infeasible_prefix() {
+        // Claims 1000 elements of at least 1 byte, but no bytes remain.
+        let bytes = 1000u32.to_le_bytes();
+        let mut reader = Reader::new(&bytes);
+        let err = reader.read_len(1).unwrap_err();
+        assert!(matches!(err, DecodeError::LengthOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn read_len_accepts_feasible_prefix() {
+        let mut bytes = 3u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[9, 9, 9]);
+        let mut reader = Reader::new(&bytes);
+        assert_eq!(reader.read_len(1).unwrap(), 3);
+    }
+
+    #[test]
+    fn position_tracks_consumption() {
+        let mut reader = Reader::new(&[0; 10]);
+        reader.take(4).unwrap();
+        assert_eq!(reader.position(), 4);
+        assert_eq!(reader.remaining(), 6);
+    }
+
+    #[test]
+    fn integer_endianness_is_little() {
+        let mut reader = Reader::new(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08]);
+        assert_eq!(reader.read_u64().unwrap(), 0x0807_0605_0403_0201);
+    }
+}

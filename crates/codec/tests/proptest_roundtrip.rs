@@ -1,0 +1,69 @@
+//! Property tests: every encodable value roundtrips, and encoding is
+//! canonical (equal values, equal bytes).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dagbft_codec::{decode_from_slice, encode_to_vec, DecodeError};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(value: u64) {
+        let bytes = encode_to_vec(&value);
+        prop_assert_eq!(decode_from_slice::<u64>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn string_roundtrip(value in ".*") {
+        let value: String = value;
+        let bytes = encode_to_vec(&value);
+        prop_assert_eq!(decode_from_slice::<String>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn vec_of_tuples_roundtrip(value in proptest::collection::vec((any::<u64>(), ".{0,16}"), 0..32)) {
+        let bytes = encode_to_vec(&value);
+        prop_assert_eq!(decode_from_slice::<Vec<(u64, String)>>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn map_roundtrip(value in proptest::collection::btree_map(any::<u32>(), any::<u64>(), 0..32)) {
+        let bytes = encode_to_vec(&value);
+        prop_assert_eq!(decode_from_slice::<BTreeMap<u32, u64>>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn set_roundtrip(value in proptest::collection::btree_set(any::<u64>(), 0..32)) {
+        let bytes = encode_to_vec(&value);
+        prop_assert_eq!(decode_from_slice::<BTreeSet<u64>>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn nested_option_roundtrip(value in proptest::collection::vec(proptest::option::of(any::<u16>()), 0..64)) {
+        let bytes = encode_to_vec(&value);
+        prop_assert_eq!(decode_from_slice::<Vec<Option<u16>>>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn truncation_never_panics(value in proptest::collection::vec(any::<u64>(), 0..16), cut in 0usize..128) {
+        let bytes = encode_to_vec(&value);
+        let cut = cut.min(bytes.len());
+        // Decoding a truncated prefix must error cleanly (or succeed only
+        // when nothing was cut).
+        match decode_from_slice::<Vec<u64>>(&bytes[..bytes.len() - cut]) {
+            Ok(decoded) => prop_assert_eq!(decoded, value),
+            Err(DecodeError::UnexpectedEof { .. })
+            | Err(DecodeError::LengthOutOfBounds { .. })
+            | Err(DecodeError::TrailingBytes { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Fuzz the decoder with random input across several schemas.
+        let _ = decode_from_slice::<Vec<(u64, String)>>(&bytes);
+        let _ = decode_from_slice::<BTreeMap<u32, Vec<u8>>>(&bytes);
+        let _ = decode_from_slice::<Option<(u8, u64, String)>>(&bytes);
+    }
+}

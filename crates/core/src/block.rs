@@ -1,0 +1,662 @@
+//! Blocks — the single message type of the block DAG protocol.
+//!
+//! Implements Definition 3.1: a block has (i) the identity `n` of the server
+//! that built it, (ii) a sequence number `k`, (iii) a list of hashes of
+//! predecessor blocks `preds`, (iv) a list of labeled requests `rs`, and
+//! (v) a signature `σ = sign(n, ref(B))`, where `ref` is a cryptographic
+//! hash over `n`, `k`, `preds` and `rs` — but not `σ`.
+//!
+//! Because `ref(B)` must be known to build a block referencing `B`,
+//! reference cycles are impossible (Lemma 3.2): temporal order is a static,
+//! cryptographic property.
+
+use std::fmt;
+
+use bytes::Bytes;
+use dagbft_codec::{encode_to_vec, DecodeError, Reader, WireDecode, WireEncode};
+use dagbft_crypto::{sha256, Digest, ServerId, Signature, Signer, Verifier};
+
+use crate::error::InvalidBlockError;
+use crate::label::Label;
+
+/// A block reference `ref(B)`: the SHA-256 digest of the block's canonical
+/// encoding without the signature (Definition 3.1).
+///
+/// Collision resistance justifies using a block and its reference
+/// interchangeably, as the paper does.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockRef(Digest);
+
+impl BlockRef {
+    /// Wraps a digest as a block reference.
+    pub fn from_digest(digest: Digest) -> Self {
+        BlockRef(digest)
+    }
+
+    /// The underlying digest.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+
+    /// Compact prefix for display in traces and rendered DAGs.
+    pub fn short_hex(&self) -> String {
+        self.0.short_hex()
+    }
+}
+
+impl fmt::Display for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.short_hex())
+    }
+}
+
+impl fmt::Debug for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.short_hex())
+    }
+}
+
+impl WireEncode for BlockRef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl WireDecode for BlockRef {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockRef(Digest::decode(reader)?))
+    }
+}
+
+/// A block's sequence number `k ∈ ℕ₀` (Definition 3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqNum(u64);
+
+impl SeqNum {
+    /// The genesis sequence number, `k = 0`.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Creates a sequence number.
+    pub fn new(k: u64) -> Self {
+        SeqNum(k)
+    }
+
+    /// The numeric value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The next sequence number, `k + 1`.
+    pub fn next(&self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// The preceding sequence number, or `None` for genesis.
+    pub fn prev(&self) -> Option<SeqNum> {
+        self.0.checked_sub(1).map(SeqNum)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl WireEncode for SeqNum {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl WireDecode for SeqNum {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SeqNum(u64::decode(reader)?))
+    }
+}
+
+/// A labeled request `(ℓ, r) ∈ L × Rqsts` carried inside a block.
+///
+/// The payload is the *opaque* wire encoding of `P::Request`; keeping it
+/// opaque makes `gossip` independent of the embedded protocol, exactly as in
+/// the paper's Figure 1 where only `interpret(G, P)` knows `P`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabeledRequest {
+    /// The protocol instance the request addresses.
+    pub label: Label,
+    /// Canonical encoding of the request `r ∈ Rqsts_P`.
+    pub payload: Bytes,
+}
+
+impl LabeledRequest {
+    /// Encodes a typed request for inclusion in a block.
+    pub fn encode<R: WireEncode>(label: Label, request: &R) -> Self {
+        LabeledRequest {
+            label,
+            payload: Bytes::from(encode_to_vec(request)),
+        }
+    }
+}
+
+impl WireEncode for LabeledRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.label.encode(out);
+        self.payload.encode(out);
+    }
+}
+
+impl WireDecode for LabeledRequest {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(LabeledRequest {
+            label: Label::decode(reader)?,
+            payload: Bytes::decode(reader)?,
+        })
+    }
+}
+
+/// A block `B ∈ Blks` (Definition 3.1).
+///
+/// Blocks are immutable once built; the reference `ref(B)` is computed at
+/// construction (or decode) time and cached.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_core::Block;
+/// use dagbft_crypto::{KeyRegistry, ServerId};
+///
+/// let registry = KeyRegistry::generate(2, 1);
+/// let signer = registry.signer(ServerId::new(0)).unwrap();
+/// let genesis = Block::build(ServerId::new(0), dagbft_core::SeqNum::ZERO, vec![], vec![], &signer);
+/// assert!(genesis.is_genesis());
+/// assert_eq!(genesis.builder(), ServerId::new(0));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Block {
+    builder: ServerId,
+    seq: SeqNum,
+    preds: Vec<BlockRef>,
+    requests: Vec<LabeledRequest>,
+    signature: Signature,
+    /// Cached `ref(B)`.
+    block_ref: BlockRef,
+}
+
+impl Block {
+    /// Builds and signs a block (Algorithm 1, line 15: `σ := sign(s, B)`).
+    pub fn build(
+        builder: ServerId,
+        seq: SeqNum,
+        preds: Vec<BlockRef>,
+        requests: Vec<LabeledRequest>,
+        signer: &Signer,
+    ) -> Block {
+        debug_assert_eq!(signer.id(), builder, "blocks are signed by their builder");
+        let block_ref = Self::compute_ref(builder, seq, &preds, &requests);
+        let signature = signer.sign(block_ref.digest().as_bytes());
+        Block {
+            builder,
+            seq,
+            preds,
+            requests,
+            signature,
+            block_ref,
+        }
+    }
+
+    /// Assembles a block with an arbitrary signature, for adversarial tests
+    /// that need ill-signed blocks.
+    pub fn build_with_signature(
+        builder: ServerId,
+        seq: SeqNum,
+        preds: Vec<BlockRef>,
+        requests: Vec<LabeledRequest>,
+        signature: Signature,
+    ) -> Block {
+        let block_ref = Self::compute_ref(builder, seq, &preds, &requests);
+        Block {
+            builder,
+            seq,
+            preds,
+            requests,
+            signature,
+            block_ref,
+        }
+    }
+
+    /// Computes `ref` over `n`, `k`, `preds`, `rs` — and *not* `σ`
+    /// (Definition 3.1: this keeps `sign(B.n, ref(B))` well defined).
+    fn compute_ref(
+        builder: ServerId,
+        seq: SeqNum,
+        preds: &[BlockRef],
+        requests: &[LabeledRequest],
+    ) -> BlockRef {
+        let mut preimage = Vec::new();
+        builder.encode(&mut preimage);
+        seq.encode(&mut preimage);
+        preds.encode(&mut preimage);
+        requests.encode(&mut preimage);
+        BlockRef(sha256(&preimage))
+    }
+
+    /// The identity `n` of the server that built this block.
+    pub fn builder(&self) -> ServerId {
+        self.builder
+    }
+
+    /// The sequence number `k`.
+    pub fn seq(&self) -> SeqNum {
+        self.seq
+    }
+
+    /// References to predecessor blocks, in inclusion order.
+    pub fn preds(&self) -> &[BlockRef] {
+        &self.preds
+    }
+
+    /// The labeled requests `rs` carried by this block.
+    pub fn requests(&self) -> &[LabeledRequest] {
+        &self.requests
+    }
+
+    /// The signature `σ = sign(n, ref(B))`.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The cached block reference `ref(B)`.
+    pub fn block_ref(&self) -> BlockRef {
+        self.block_ref
+    }
+
+    /// Returns `true` for genesis blocks (`k = 0`), which cannot — and need
+    /// not — have a parent.
+    pub fn is_genesis(&self) -> bool {
+        self.seq == SeqNum::ZERO
+    }
+
+    /// Verifies `σ` against the claimed builder (Definition 3.3 (i)).
+    pub fn verify_signature(&self, verifier: &Verifier) -> bool {
+        verifier.verify(
+            self.builder,
+            self.block_ref.digest().as_bytes(),
+            &self.signature,
+        )
+    }
+
+    /// Finds this block's parent among its predecessors: the unique distinct
+    /// predecessor built by the same server with sequence number `k − 1`.
+    ///
+    /// `meta` resolves a reference to the `(builder, seq)` of an
+    /// already-known block; unresolvable references are skipped (callers
+    /// ensure all predecessors are known before validity is decided).
+    ///
+    /// # Errors
+    ///
+    /// * [`InvalidBlockError::MissingParent`] — non-genesis block with no
+    ///   parent among the resolvable predecessors.
+    /// * [`InvalidBlockError::MultipleParents`] — two distinct candidate
+    ///   parents (an equivocation *within* the block's own history).
+    pub fn parent_via<F>(&self, meta: F) -> Result<Option<BlockRef>, InvalidBlockError>
+    where
+        F: Fn(&BlockRef) -> Option<(ServerId, SeqNum)>,
+    {
+        let Some(expected_seq) = self.seq.prev() else {
+            return Ok(None); // Genesis: 0 is minimal in ℕ₀, no parent possible.
+        };
+        let mut parent: Option<BlockRef> = None;
+        for pred in &self.preds {
+            let Some((builder, seq)) = meta(pred) else {
+                continue;
+            };
+            if builder == self.builder && seq == expected_seq {
+                match parent {
+                    None => parent = Some(*pred),
+                    Some(existing) if existing == *pred => {}
+                    Some(existing) => {
+                        return Err(InvalidBlockError::MultipleParents {
+                            builder: self.builder,
+                            parents: (existing, *pred),
+                        })
+                    }
+                }
+            }
+        }
+        match parent {
+            Some(parent) => Ok(Some(parent)),
+            None => Err(InvalidBlockError::MissingParent {
+                builder: self.builder,
+                seq: self.seq,
+            }),
+        }
+    }
+
+    /// Size of this block on the wire, in bytes (used by the metrics plane).
+    pub fn wire_len(&self) -> usize {
+        encode_to_vec(self).len()
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Block({}/{} {} preds={} rs={})",
+            self.builder,
+            self.seq,
+            self.block_ref,
+            self.preds.len(),
+            self.requests.len()
+        )
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}{}", self.builder, self.seq, self.block_ref)
+    }
+}
+
+impl WireEncode for Block {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.builder.encode(out);
+        self.seq.encode(out);
+        self.preds.encode(out);
+        self.requests.encode(out);
+        self.signature.encode(out);
+    }
+}
+
+impl WireDecode for Block {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let builder = ServerId::decode(reader)?;
+        let seq = SeqNum::decode(reader)?;
+        let preds = Vec::<BlockRef>::decode(reader)?;
+        let requests = Vec::<LabeledRequest>::decode(reader)?;
+        let signature = Signature::decode(reader)?;
+        let block_ref = Self::compute_ref(builder, seq, &preds, &requests);
+        Ok(Block {
+            builder,
+            seq,
+            preds,
+            requests,
+            signature,
+            block_ref,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagbft_codec::decode_from_slice;
+    use dagbft_crypto::KeyRegistry;
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::generate(4, 11)
+    }
+
+    fn signer(registry: &KeyRegistry, id: u32) -> Signer {
+        registry.signer(ServerId::new(id)).unwrap()
+    }
+
+    #[test]
+    fn ref_excludes_signature() {
+        let registry = registry();
+        let block = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            &signer(&registry, 0),
+        );
+        // Same content, different (null) signature: identical reference.
+        let forged = Block::build_with_signature(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            Signature::NULL,
+        );
+        assert_eq!(block.block_ref(), forged.block_ref());
+        assert_ne!(block.signature(), forged.signature());
+    }
+
+    #[test]
+    fn ref_covers_all_content_fields() {
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let base = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer0);
+
+        let different_seq =
+            Block::build(ServerId::new(0), SeqNum::new(1), vec![], vec![], &signer0);
+        assert_ne!(base.block_ref(), different_seq.block_ref());
+
+        let signer1 = signer(&registry, 1);
+        let different_builder =
+            Block::build(ServerId::new(1), SeqNum::ZERO, vec![], vec![], &signer1);
+        assert_ne!(base.block_ref(), different_builder.block_ref());
+
+        let with_pred = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![base.block_ref()],
+            vec![],
+            &signer0,
+        );
+        assert_ne!(base.block_ref(), with_pred.block_ref());
+
+        let with_request = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(Label::new(1), &42u64)],
+            &signer0,
+        );
+        assert_ne!(base.block_ref(), with_request.block_ref());
+    }
+
+    #[test]
+    fn signature_verifies_for_builder_only() {
+        let registry = registry();
+        let block = Block::build(
+            ServerId::new(2),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            &signer(&registry, 2),
+        );
+        assert!(block.verify_signature(&registry.verifier()));
+
+        // A block claiming builder 3 but signed by 2 must not verify.
+        let forged = Block::build_with_signature(
+            ServerId::new(3),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            *block.signature(),
+        );
+        assert!(!forged.verify_signature(&registry.verifier()));
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_ref() {
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let genesis = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer0);
+        let block = Block::build(
+            ServerId::new(0),
+            SeqNum::new(1),
+            vec![genesis.block_ref()],
+            vec![LabeledRequest::encode(Label::new(7), &"hello".to_owned())],
+            &signer0,
+        );
+        let bytes = encode_to_vec(&block);
+        assert_eq!(bytes.len(), block.wire_len());
+        let decoded: Block = decode_from_slice(&bytes).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.block_ref(), block.block_ref());
+        assert!(decoded.verify_signature(&registry.verifier()));
+    }
+
+    #[test]
+    fn parent_detection_genesis() {
+        let registry = registry();
+        let genesis = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            &signer(&registry, 0),
+        );
+        assert_eq!(genesis.parent_via(|_| None).unwrap(), None);
+    }
+
+    #[test]
+    fn parent_detection_single_parent() {
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let genesis = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer0);
+        let other = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            &signer(&registry, 1),
+        );
+        let child = Block::build(
+            ServerId::new(0),
+            SeqNum::new(1),
+            vec![genesis.block_ref(), other.block_ref()],
+            vec![],
+            &signer0,
+        );
+        let meta = |r: &BlockRef| {
+            [&genesis, &other]
+                .iter()
+                .find(|b| b.block_ref() == *r)
+                .map(|b| (b.builder(), b.seq()))
+        };
+        assert_eq!(child.parent_via(meta).unwrap(), Some(genesis.block_ref()));
+    }
+
+    #[test]
+    fn parent_detection_missing() {
+        let registry = registry();
+        let orphan = Block::build(
+            ServerId::new(0),
+            SeqNum::new(5),
+            vec![],
+            vec![],
+            &signer(&registry, 0),
+        );
+        assert!(matches!(
+            orphan.parent_via(|_| None),
+            Err(InvalidBlockError::MissingParent { .. })
+        ));
+    }
+
+    #[test]
+    fn parent_detection_two_distinct_parents_rejected() {
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        // Two equivocating k=0 blocks by server 0.
+        let genesis_a = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer0);
+        let genesis_b = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(Label::new(0), &1u8)],
+            &signer0,
+        );
+        let child = Block::build(
+            ServerId::new(0),
+            SeqNum::new(1),
+            vec![genesis_a.block_ref(), genesis_b.block_ref()],
+            vec![],
+            &signer0,
+        );
+        let meta = |r: &BlockRef| {
+            [&genesis_a, &genesis_b]
+                .iter()
+                .find(|b| b.block_ref() == *r)
+                .map(|b| (b.builder(), b.seq()))
+        };
+        assert!(matches!(
+            child.parent_via(meta),
+            Err(InvalidBlockError::MultipleParents { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_parent_reference_is_one_parent() {
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let genesis = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer0);
+        let child = Block::build(
+            ServerId::new(0),
+            SeqNum::new(1),
+            vec![genesis.block_ref(), genesis.block_ref()],
+            vec![],
+            &signer0,
+        );
+        let meta = |r: &BlockRef| {
+            (*r == genesis.block_ref()).then(|| (genesis.builder(), genesis.seq()))
+        };
+        assert_eq!(child.parent_via(meta).unwrap(), Some(genesis.block_ref()));
+    }
+
+    #[test]
+    fn lemma_3_2_no_mutual_references() {
+        // Cryptographic argument: to build B1 with ref(B2) ∈ B1.preds we
+        // need ref(B2) first, and vice versa. We test the observable
+        // consequence: any two constructible blocks can never reference each
+        // other, because a block's own ref depends on its preds list.
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let b1 = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer0);
+        let b2 = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![b1.block_ref()],
+            vec![],
+            &signer(&registry, 1),
+        );
+        assert!(b2.preds().contains(&b1.block_ref()));
+        assert!(!b1.preds().contains(&b2.block_ref()));
+        // Rebuilding b1 to include b2 changes its ref — it is a different
+        // block, so the original b2 no longer references "it".
+        let b1_prime = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![b2.block_ref()],
+            vec![],
+            &signer0,
+        );
+        assert_ne!(b1_prime.block_ref(), b1.block_ref());
+    }
+
+    #[test]
+    fn display_and_debug_are_informative() {
+        let registry = registry();
+        let block = Block::build(
+            ServerId::new(1),
+            SeqNum::new(3),
+            vec![],
+            vec![],
+            &signer(&registry, 1),
+        );
+        let debug = format!("{block:?}");
+        assert!(debug.contains("s1"));
+        assert!(debug.contains("k3"));
+        let display = format!("{block}");
+        assert!(display.contains("s1/k3#"));
+    }
+}

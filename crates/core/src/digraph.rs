@@ -1,0 +1,287 @@
+//! Directed graphs exactly as in §2 of the paper.
+//!
+//! This module is a direct, generic transcription of the paper's graph
+//! preliminaries: the restrictive [`DiGraph::insert`] of Definition 2.1
+//! (a new vertex may only receive edges *from* existing vertices), the
+//! subgraph relation `≤`, union, and reachability. [`crate::BlockDag`] is a
+//! specialized, indexed implementation for blocks; this generic one exists
+//! so the properties of Lemma 2.2 can be stated and property-tested in the
+//! paper's own terms.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A directed graph over ordered vertex ids, following §2.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_core::digraph::DiGraph;
+///
+/// let mut graph = DiGraph::new();
+/// graph.insert(1, []);
+/// graph.insert(2, [1]);
+/// assert!(graph.reaches(&1, &2)); // 1 ⇀ 2
+/// assert!(graph.is_acyclic());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiGraph<V: Ord + Clone> {
+    /// Adjacency: vertex → direct successors (`v ⇀ v'`).
+    successors: BTreeMap<V, BTreeSet<V>>,
+}
+
+impl<V: Ord + Clone> DiGraph<V> {
+    /// Creates the empty graph `∅`.
+    pub fn new() -> Self {
+        DiGraph {
+            successors: BTreeMap::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Returns `true` for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty()
+    }
+
+    /// `v ∈ G`.
+    pub fn contains(&self, v: &V) -> bool {
+        self.successors.contains_key(v)
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.successors.values().map(BTreeSet::len).sum()
+    }
+
+    /// `(v, v') ∈ E`, i.e. `v ⇀ v'`.
+    pub fn has_edge(&self, v: &V, v2: &V) -> bool {
+        self.successors.get(v).is_some_and(|out| out.contains(v2))
+    }
+
+    /// Inserts vertex `v` with edges `{(vᵢ, v) | vᵢ ∈ sources}` per
+    /// Definition 2.1: only edges *into* the new vertex, only from vertices
+    /// already in the graph.
+    ///
+    /// Edge sources not present in the graph are ignored (`vᵢ ∈ V ⊆ G` is a
+    /// precondition of the definition; dropping violators keeps the
+    /// definition's closure properties, which the tests verify).
+    ///
+    /// Re-inserting an existing vertex with edges already present is a
+    /// no-op (Lemma 2.2 (1)); new edges to an *existing* vertex are allowed
+    /// by the definition and may create cycles — exactly the caveat the
+    /// paper illustrates after Lemma 2.2 — so callers wanting acyclicity
+    /// insert fresh vertices only, as the block DAG does.
+    pub fn insert<I: IntoIterator<Item = V>>(&mut self, v: V, sources: I) {
+        let sources: Vec<V> = sources
+            .into_iter()
+            .filter(|source| self.contains(source))
+            .collect();
+        self.successors.entry(v.clone()).or_default();
+        for source in sources {
+            self.successors
+                .get_mut(&source)
+                .expect("source vertex present")
+                .insert(v.clone());
+        }
+    }
+
+    /// Iterator over the vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = &V> {
+        self.successors.keys()
+    }
+
+    /// Iterator over all edges `(v, v')`.
+    pub fn edges(&self) -> impl Iterator<Item = (&V, &V)> {
+        self.successors
+            .iter()
+            .flat_map(|(v, outs)| outs.iter().map(move |v2| (v, v2)))
+    }
+
+    /// Direct successors of `v`.
+    pub fn successors_of(&self, v: &V) -> impl Iterator<Item = &V> {
+        self.successors.get(v).into_iter().flatten()
+    }
+
+    /// `v ⇀⁺ v'`: `v'` reachable from `v` in one or more steps.
+    pub fn reaches(&self, v: &V, v2: &V) -> bool {
+        let mut queue: VecDeque<&V> = self.successors_of(v).collect();
+        let mut seen: BTreeSet<&V> = queue.iter().copied().collect();
+        while let Some(current) = queue.pop_front() {
+            if current == v2 {
+                return true;
+            }
+            for next in self.successors_of(current) {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// `v ⇀* v'`: reflexive-transitive reachability.
+    pub fn reaches_reflexive(&self, v: &V, v2: &V) -> bool {
+        (v == v2 && self.contains(v)) || self.reaches(v, v2)
+    }
+
+    /// A graph is acyclic if `v ⇀⁺ v'` implies `v ≠ v'` for all vertices.
+    pub fn is_acyclic(&self) -> bool {
+        self.vertices().all(|v| !self.reaches(v, v))
+    }
+
+    /// The subgraph relation `G₁ ≤ G₂`: `V₁ ⊆ V₂` **and**
+    /// `E₁ = E₂ ∩ (V₁ × V₁)` — `G₁` must already contain every `G₂`-edge
+    /// between its own vertices (§2).
+    pub fn le(&self, other: &Self) -> bool {
+        for v in self.vertices() {
+            if !other.contains(v) {
+                return false;
+            }
+        }
+        // E₁ ⊆ E₂.
+        for (v, v2) in self.edges() {
+            if !other.has_edge(v, v2) {
+                return false;
+            }
+        }
+        // E₂ ∩ (V₁ × V₁) ⊆ E₁.
+        for (v, v2) in other.edges() {
+            if self.contains(v) && self.contains(v2) && !self.has_edge(v, v2) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `G₁ ∪ G₂ = (V₁ ∪ V₂, E₁ ∪ E₂)` (§2).
+    pub fn union(&self, other: &Self) -> Self {
+        let mut successors = self.successors.clone();
+        for (v, outs) in &other.successors {
+            successors.entry(v.clone()).or_default().extend(outs.iter().cloned());
+        }
+        DiGraph { successors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let graph: DiGraph<u32> = DiGraph::new();
+        assert!(graph.is_empty());
+        assert!(graph.is_acyclic());
+        assert_eq!(graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn lemma_2_2_1_insert_idempotent() {
+        let mut graph = DiGraph::new();
+        graph.insert(1, []);
+        graph.insert(2, [1]);
+        let before = graph.clone();
+        graph.insert(2, [1]);
+        assert_eq!(graph, before);
+    }
+
+    #[test]
+    fn lemma_2_2_2_original_is_subgraph_after_fresh_insert() {
+        let mut graph = DiGraph::new();
+        graph.insert(1, []);
+        graph.insert(2, []);
+        let before = graph.clone();
+        graph.insert(3, [1, 2]);
+        assert!(before.le(&graph));
+    }
+
+    #[test]
+    fn le_counterexample_from_paper() {
+        // G: vertices {v1, v2}, no edges. G' = insert(G, v2, {(v1, v2)})
+        // (via re-insert adding an edge) gives E_G ≠ E_G' ∩ (V×V), so the
+        // edge-completeness side of ≤ fails.
+        let mut g = DiGraph::new();
+        g.insert(1, []);
+        g.insert(2, []);
+        let mut g_prime = g.clone();
+        g_prime.insert(2, [1]); // re-insert with a new edge
+        assert!(!g.le(&g_prime));
+        assert!(g_prime.le(&g_prime));
+    }
+
+    #[test]
+    fn lemma_2_2_3_fresh_insert_preserves_acyclicity() {
+        let mut graph = DiGraph::new();
+        graph.insert(1, []);
+        graph.insert(2, [1]);
+        graph.insert(3, [1, 2]);
+        assert!(graph.is_acyclic());
+    }
+
+    #[test]
+    fn reinsert_can_create_cycle_as_paper_warns() {
+        // Paper example after Lemma 2.2: G with {v1, v2}, edge (v1, v2);
+        // insert(G, v1, {(v2, v1)}) contains a cycle.
+        let mut graph = DiGraph::new();
+        graph.insert(1, []);
+        graph.insert(2, [1]);
+        graph.insert(1, [2]);
+        assert!(!graph.is_acyclic());
+    }
+
+    #[test]
+    fn insert_ignores_unknown_sources() {
+        let mut graph = DiGraph::new();
+        graph.insert(5, [99]); // 99 ∉ G: edge dropped
+        assert_eq!(graph.edge_count(), 0);
+        assert!(graph.contains(&5));
+    }
+
+    #[test]
+    fn reachability_transitive_and_reflexive_variants() {
+        let mut graph = DiGraph::new();
+        graph.insert(1, []);
+        graph.insert(2, [1]);
+        graph.insert(3, [2]);
+        assert!(graph.reaches(&1, &3));
+        assert!(!graph.reaches(&3, &1));
+        assert!(!graph.reaches(&1, &1));
+        assert!(graph.reaches_reflexive(&1, &1));
+        assert!(!graph.reaches_reflexive(&4, &4)); // 4 ∉ G
+    }
+
+    #[test]
+    fn union_merges_vertices_and_edges() {
+        let mut g1 = DiGraph::new();
+        g1.insert(1, []);
+        g1.insert(2, [1]);
+        let mut g2 = DiGraph::new();
+        g2.insert(1, []);
+        g2.insert(3, [1]);
+        let joined = g1.union(&g2);
+        assert_eq!(joined.len(), 3);
+        assert!(joined.has_edge(&1, &2));
+        assert!(joined.has_edge(&1, &3));
+        assert!(g1.le(&joined));
+        assert!(g2.le(&joined));
+    }
+
+    #[test]
+    fn le_is_a_partial_order_on_grown_graphs() {
+        let mut g = DiGraph::new();
+        g.insert(1, []);
+        let g1 = g.clone();
+        g.insert(2, [1]);
+        let g2 = g.clone();
+        g.insert(3, [2]);
+        let g3 = g.clone();
+        // Reflexivity, antisymmetry (by inequality), transitivity.
+        assert!(g1.le(&g1));
+        assert!(g1.le(&g2) && g2.le(&g3) && g1.le(&g3));
+        assert!(!g2.le(&g1));
+    }
+}

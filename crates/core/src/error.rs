@@ -1,0 +1,114 @@
+//! Error types for the block DAG framework.
+
+use std::error::Error;
+use std::fmt;
+
+use dagbft_crypto::ServerId;
+
+use crate::block::{BlockRef, SeqNum};
+
+/// Why a block failed the validity checks of Definition 3.3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidBlockError {
+    /// `verify(B.n, B.σ)` failed — the block was not signed by its claimed
+    /// builder (Definition 3.3 (i)).
+    BadSignature {
+        /// The claimed builder.
+        claimed: ServerId,
+    },
+    /// A non-genesis block has no predecessor by the same builder with the
+    /// preceding sequence number (Definition 3.3 (ii)(b)).
+    MissingParent {
+        /// The builder of the offending block.
+        builder: ServerId,
+        /// The sequence number of the offending block.
+        seq: SeqNum,
+    },
+    /// A block names two *distinct* parents — two different predecessor
+    /// blocks both built by `B.n` with sequence number `B.k − 1`
+    /// ("every block has at most one parent", Definition 3.1).
+    MultipleParents {
+        /// The builder of the offending block.
+        builder: ServerId,
+        /// The two conflicting parent references.
+        parents: (BlockRef, BlockRef),
+    },
+    /// The block identifies a builder outside the configured server set.
+    UnknownBuilder {
+        /// The out-of-range identity.
+        claimed: ServerId,
+    },
+}
+
+impl fmt::Display for InvalidBlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidBlockError::BadSignature { claimed } => {
+                write!(f, "signature does not verify for claimed builder {claimed}")
+            }
+            InvalidBlockError::MissingParent { builder, seq } => {
+                write!(f, "non-genesis block {builder}/{seq} lacks a parent")
+            }
+            InvalidBlockError::MultipleParents { builder, .. } => {
+                write!(f, "block by {builder} references two distinct parents")
+            }
+            InvalidBlockError::UnknownBuilder { claimed } => {
+                write!(f, "builder {claimed} is not in the server set")
+            }
+        }
+    }
+}
+
+impl Error for InvalidBlockError {}
+
+/// Errors raised by [`crate::BlockDag`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Inserting a block whose predecessors are not all present would break
+    /// Definition 3.4 (ii).
+    MissingPredecessors {
+        /// The block that could not be inserted.
+        block: BlockRef,
+        /// The predecessors that are not in the DAG.
+        missing: Vec<BlockRef>,
+    },
+    /// The referenced block is not in the DAG.
+    UnknownBlock {
+        /// The reference that failed to resolve.
+        block: BlockRef,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::MissingPredecessors { block, missing } => write!(
+                f,
+                "cannot insert block {block}: {} predecessor(s) missing",
+                missing.len()
+            ),
+            DagError::UnknownBlock { block } => write!(f, "unknown block {block}"),
+        }
+    }
+}
+
+impl Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagbft_crypto::Digest;
+
+    #[test]
+    fn display_messages() {
+        let err = InvalidBlockError::BadSignature {
+            claimed: ServerId::new(3),
+        };
+        assert!(err.to_string().contains("s3"));
+
+        let err = DagError::UnknownBlock {
+            block: BlockRef::from_digest(Digest::ZERO),
+        };
+        assert!(err.to_string().contains("unknown block"));
+    }
+}

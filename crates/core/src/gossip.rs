@@ -1,0 +1,753 @@
+//! Building the block DAG — Algorithm 1 of the paper.
+//!
+//! The networking component is deliberately simple: there is one core
+//! message type, the block, plus the `FWD` request used to pull missing
+//! predecessors from the server whose block referenced them
+//! (lines 10–13). A correct server
+//!
+//! * buffers received blocks (`blks`, lines 4–5),
+//! * promotes them into its DAG once valid (lines 6–9), appending a
+//!   reference to each newly valid block to its *current block* `B`
+//!   (line 8),
+//! * serves `FWD` requests from its DAG (lines 12–13), and
+//! * on `disseminate()` seals `B` with the pending user requests and its
+//!   signature, sends it to everyone, and starts the next block with the
+//!   parent reference (lines 14–18).
+//!
+//! The module is transport-agnostic: entry points consume [`NetMessage`]s
+//! and return [`NetCommand`]s for the caller (simulator, tests, or a real
+//! event loop) to execute. Time is passed in explicitly and is only used to
+//! pace `FWD` retransmissions (the paper's timer `Δ_B'`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use dagbft_codec::{encode_to_vec, DecodeError, Reader, WireDecode, WireEncode};
+use dagbft_crypto::{ServerId, Signer, Verifier};
+
+use crate::block::{Block, BlockRef, LabeledRequest, SeqNum};
+use crate::dag::BlockDag;
+use crate::error::InvalidBlockError;
+use crate::TimeMs;
+
+/// The messages servers exchange: blocks, and forward requests for missing
+/// predecessor blocks (Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetMessage {
+    /// A block being disseminated (line 17) or forwarded (line 13).
+    Block(Block),
+    /// `FWD ref(B)`: "please send me block `B`" (line 11).
+    FwdRequest(BlockRef),
+}
+
+impl NetMessage {
+    /// Size of this message on the wire, in bytes.
+    pub fn wire_len(&self) -> usize {
+        encode_to_vec(self).len()
+    }
+}
+
+impl WireEncode for NetMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NetMessage::Block(block) => {
+                out.push(0);
+                block.encode(out);
+            }
+            NetMessage::FwdRequest(block_ref) => {
+                out.push(1);
+                block_ref.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for NetMessage {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match reader.read_u8()? {
+            0 => Ok(NetMessage::Block(Block::decode(reader)?)),
+            1 => Ok(NetMessage::FwdRequest(BlockRef::decode(reader)?)),
+            value => Err(DecodeError::InvalidDiscriminant {
+                type_name: "NetMessage",
+                value,
+            }),
+        }
+    }
+}
+
+/// An instruction to the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetCommand {
+    /// Send `message` to a single server.
+    SendTo {
+        /// The destination server.
+        to: ServerId,
+        /// The message to deliver.
+        message: NetMessage,
+    },
+    /// Send `message` to every *other* server (line 17; the sender already
+    /// holds the block).
+    Broadcast {
+        /// The message to deliver to all peers.
+        message: NetMessage,
+    },
+}
+
+/// Configuration for the gossip layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Total number of servers `|Srvrs|`.
+    pub n: usize,
+    /// Minimum time between repeated `FWD` requests for the same block
+    /// (the paper's per-block wait `Δ_B'`, informed by the round-trip time).
+    pub fwd_retry_ms: TimeMs,
+}
+
+impl GossipConfig {
+    /// Configuration for `n` servers with the default 100 ms `FWD` retry.
+    pub fn for_n(n: usize) -> Self {
+        GossipConfig {
+            n,
+            fwd_retry_ms: 100,
+        }
+    }
+}
+
+/// Counters describing a gossip instance's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipStats {
+    /// Blocks received from the network (before dedup).
+    pub blocks_received: u64,
+    /// Received blocks already present in the DAG or the pending buffer.
+    pub duplicate_blocks: u64,
+    /// Blocks rejected by the validity checks of Definition 3.3.
+    pub invalid_blocks: u64,
+    /// Blocks from other servers promoted into the DAG.
+    pub blocks_validated: u64,
+    /// Own blocks built and disseminated.
+    pub blocks_built: u64,
+    /// `FWD` requests sent.
+    pub fwd_sent: u64,
+    /// `FWD` requests received from peers.
+    pub fwd_received: u64,
+    /// Blocks re-sent in answer to `FWD` requests.
+    pub fwd_answered: u64,
+    /// Peak size of the pending (`blks`) buffer.
+    pub pending_peak: usize,
+}
+
+/// State of an outstanding forward request for one missing block.
+#[derive(Debug, Clone)]
+struct FwdState {
+    /// Builders of pending blocks that reference the missing block — the
+    /// servers Algorithm 1 line 11 directs requests to.
+    candidates: BTreeSet<ServerId>,
+    /// When the last `FWD` was sent, if any.
+    last_sent: Option<TimeMs>,
+    /// Number of requests sent so far (used to rotate candidates).
+    attempts: u32,
+}
+
+/// The gossip module of Algorithm 1: builds the local DAG `G` and the
+/// current block `B`.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_core::{Gossip, GossipConfig, NetCommand, NetMessage};
+/// use dagbft_crypto::{KeyRegistry, ServerId};
+///
+/// let registry = KeyRegistry::generate(2, 1);
+/// let mut alice = Gossip::new(
+///     ServerId::new(0),
+///     GossipConfig::for_n(2),
+///     registry.signer(ServerId::new(0)).unwrap(),
+///     registry.verifier(),
+/// );
+/// let (block, commands) = alice.disseminate(vec![], 0);
+/// assert!(matches!(&commands[0], NetCommand::Broadcast { .. }));
+/// assert!(alice.dag().contains(&block.block_ref()));
+/// ```
+#[derive(Debug)]
+pub struct Gossip {
+    me: ServerId,
+    config: GossipConfig,
+    signer: Signer,
+    verifier: Verifier,
+    dag: BlockDag,
+    /// Sequence number of the block currently under construction.
+    next_seq: SeqNum,
+    /// `B.preds` of the block currently under construction (line 8 appends
+    /// here, line 18 re-initializes with the parent reference).
+    current_preds: Vec<BlockRef>,
+    /// The `blks` buffer of received, not-yet-valid blocks (line 3).
+    pending: HashMap<BlockRef, Block>,
+    /// Missing predecessor → forward-request state.
+    missing: BTreeMap<BlockRef, FwdState>,
+    /// Blocks rejected as permanently invalid, with the reason — kept for
+    /// auditing (the paper notes accountability as an extension, §6).
+    rejected: Vec<(BlockRef, InvalidBlockError)>,
+    stats: GossipStats,
+}
+
+/// Result of the validity checks of Definition 3.3 against the current DAG.
+enum Validity {
+    /// All three conditions hold.
+    Valid,
+    /// Condition (iii) cannot be decided yet: some predecessors are unknown.
+    MissingPreds,
+    /// The block can never become valid.
+    Invalid(InvalidBlockError),
+}
+
+impl Gossip {
+    /// Creates a gossip instance for server `me`.
+    pub fn new(me: ServerId, config: GossipConfig, signer: Signer, verifier: Verifier) -> Self {
+        debug_assert_eq!(signer.id(), me);
+        Gossip {
+            me,
+            config,
+            signer,
+            verifier,
+            dag: BlockDag::new(),
+            next_seq: SeqNum::ZERO,
+            current_preds: Vec::new(),
+            pending: HashMap::new(),
+            missing: BTreeMap::new(),
+            rejected: Vec::new(),
+            stats: GossipStats::default(),
+        }
+    }
+
+    /// Resumes gossip from a persisted DAG after a crash (§7
+    /// crash–recovery discussion).
+    ///
+    /// The next block continues this server's own chain: its sequence
+    /// number follows the highest own block in `dag`, its predecessors are
+    /// the own chain tip plus every block of `dag` the chain has not yet
+    /// referenced (so messages received just before the crash still get
+    /// delivered). Resuming from a *stale* image — one missing own blocks
+    /// that already reached the network — would re-use sequence numbers,
+    /// i.e. equivocate; persisting the DAG after each own dissemination
+    /// (the `dag()` accessor plus `recovery::persist_dag`) avoids this, as
+    /// the paper prescribes ("assuming that they persist enough
+    /// information").
+    pub fn resume(
+        me: ServerId,
+        config: GossipConfig,
+        signer: Signer,
+        verifier: Verifier,
+        dag: BlockDag,
+    ) -> Self {
+        let own_tip = dag.height_of(me).map(|height| {
+            let at = dag.blocks_at(me, height);
+            debug_assert_eq!(at.len(), 1, "own chain must not be forked");
+            at[0]
+        });
+        let next_seq = dag
+            .height_of(me)
+            .map(|height| height.next())
+            .unwrap_or(SeqNum::ZERO);
+        // Everything the own chain has referenced is an ancestor of the
+        // tip; reference the rest now, in topological order.
+        let referenced: std::collections::BTreeSet<BlockRef> = match own_tip {
+            Some(tip) => {
+                let mut set = dag.ancestors(&tip);
+                set.insert(tip);
+                set
+            }
+            None => Default::default(),
+        };
+        let mut current_preds: Vec<BlockRef> = Vec::new();
+        if let Some(tip) = own_tip {
+            current_preds.push(tip);
+        }
+        for block_ref in dag.refs() {
+            if !referenced.contains(block_ref) {
+                current_preds.push(*block_ref);
+            }
+        }
+        Gossip {
+            me,
+            config,
+            signer,
+            verifier,
+            dag,
+            next_seq,
+            current_preds,
+            pending: HashMap::new(),
+            missing: BTreeMap::new(),
+            rejected: Vec::new(),
+            stats: GossipStats::default(),
+        }
+    }
+
+    /// The server this instance runs as.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// Read access to the local block DAG `G`.
+    pub fn dag(&self) -> &BlockDag {
+        &self.dag
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &GossipStats {
+        &self.stats
+    }
+
+    /// Number of buffered, not-yet-valid blocks.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Blocks rejected as permanently invalid, with their reasons — the raw
+    /// material for accountability mechanisms (§6 of the paper).
+    pub fn rejected(&self) -> &[(BlockRef, InvalidBlockError)] {
+        &self.rejected
+    }
+
+    /// Sequence number the next disseminated block will carry.
+    pub fn next_seq(&self) -> SeqNum {
+        self.next_seq
+    }
+
+    /// Handles a message from `from`, returning transport commands
+    /// (block handling: lines 4–13 of Algorithm 1).
+    pub fn on_message(
+        &mut self,
+        from: ServerId,
+        message: NetMessage,
+        now: TimeMs,
+    ) -> Vec<NetCommand> {
+        match message {
+            NetMessage::Block(block) => self.on_block(block, now),
+            NetMessage::FwdRequest(block_ref) => self.on_fwd_request(from, block_ref),
+        }
+    }
+
+    /// Handles a received block (lines 4–11).
+    pub fn on_block(&mut self, block: Block, now: TimeMs) -> Vec<NetCommand> {
+        self.stats.blocks_received += 1;
+        let block_ref = block.block_ref();
+        if self.dag.contains(&block_ref) || self.pending.contains_key(&block_ref) {
+            self.stats.duplicate_blocks += 1;
+            return Vec::new();
+        }
+        self.pending.insert(block_ref, block);
+        self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
+        self.promote_pending();
+        self.refresh_missing();
+        self.collect_fwd_commands(now)
+    }
+
+    /// Handles `FWD ref(B)` from `from`: if `B ∈ G`, send it back
+    /// (lines 12–13).
+    pub fn on_fwd_request(&mut self, from: ServerId, block_ref: BlockRef) -> Vec<NetCommand> {
+        self.stats.fwd_received += 1;
+        match self.dag.get(&block_ref) {
+            Some(block) => {
+                self.stats.fwd_answered += 1;
+                vec![NetCommand::SendTo {
+                    to: from,
+                    message: NetMessage::Block(block.clone()),
+                }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Periodic timer: re-issues `FWD` requests whose retry interval has
+    /// elapsed.
+    pub fn on_tick(&mut self, now: TimeMs) -> Vec<NetCommand> {
+        self.collect_fwd_commands(now)
+    }
+
+    /// Seals and disseminates the current block with `requests` injected
+    /// into `B.rs` (lines 14–18). Returns the built block and the broadcast
+    /// command.
+    pub fn disseminate(
+        &mut self,
+        requests: Vec<LabeledRequest>,
+        _now: TimeMs,
+    ) -> (Block, Vec<NetCommand>) {
+        let preds = std::mem::take(&mut self.current_preds);
+        let block = Block::build(self.me, self.next_seq, preds, requests, &self.signer);
+        // Line 16: insert the own block. Valid by construction (Lemma A.4):
+        // signed by us, parent is our previous block, preds all validated.
+        self.dag
+            .insert(block.clone())
+            .expect("own block preds are in the DAG");
+        self.stats.blocks_built += 1;
+        // Line 18: next block starts from the parent reference.
+        self.current_preds = vec![block.block_ref()];
+        self.next_seq = self.next_seq.next();
+        let commands = vec![NetCommand::Broadcast {
+            message: NetMessage::Block(block.clone()),
+        }];
+        (block, commands)
+    }
+
+    /// Fixed-point promotion of pending blocks (lines 6–9): any buffered
+    /// block whose predecessors are all in the DAG is validated; valid
+    /// blocks are inserted and referenced from the current block.
+    fn promote_pending(&mut self) {
+        loop {
+            let candidate = self.pending.iter().find_map(|(r, block)| {
+                block
+                    .preds()
+                    .iter()
+                    .all(|p| self.dag.contains(p))
+                    .then_some(*r)
+            });
+            let Some(block_ref) = candidate else {
+                return;
+            };
+            let block = self.pending.remove(&block_ref).expect("candidate pending");
+            match self.validate(&block) {
+                Validity::Valid => {
+                    self.dag.insert(block).expect("preds checked");
+                    // Line 8: B.preds := B.preds · [ref(B')]. Appending once
+                    // per block is Lemma A.6 (correct servers reference a
+                    // block at most once).
+                    self.current_preds.push(block_ref);
+                    self.stats.blocks_validated += 1;
+                    self.missing.remove(&block_ref);
+                }
+                Validity::Invalid(reason) => {
+                    self.stats.invalid_blocks += 1;
+                    self.rejected.push((block_ref, reason));
+                    self.missing.remove(&block_ref);
+                }
+                Validity::MissingPreds => {
+                    unreachable!("candidate had all preds in the DAG")
+                }
+            }
+        }
+    }
+
+    /// The checks of Definition 3.3 for a block whose predecessors are all
+    /// present (condition (iii) — "all preds valid" — then holds because
+    /// only valid blocks enter the DAG).
+    fn validate(&self, block: &Block) -> Validity {
+        if block.builder().index() >= self.config.n {
+            return Validity::Invalid(InvalidBlockError::UnknownBuilder {
+                claimed: block.builder(),
+            });
+        }
+        // (i) verify(B.n, B.σ).
+        if !block.verify_signature(&self.verifier) {
+            return Validity::Invalid(InvalidBlockError::BadSignature {
+                claimed: block.builder(),
+            });
+        }
+        // (iii) prerequisite: all preds known.
+        if block.preds().iter().any(|p| !self.dag.contains(p)) {
+            return Validity::MissingPreds;
+        }
+        // (ii) genesis, or exactly one parent.
+        match block.parent_via(|r| self.dag.meta(r)) {
+            Ok(_) => Validity::Valid,
+            Err(err) => Validity::Invalid(err),
+        }
+    }
+
+    /// Rebuilds the missing-predecessor index from the pending buffer
+    /// (line 10: `B ∈ B'.preds`, `B ∉ blks`, `B ∉ G`).
+    fn refresh_missing(&mut self) {
+        let mut still_missing: BTreeMap<BlockRef, BTreeSet<ServerId>> = BTreeMap::new();
+        for block in self.pending.values() {
+            for pred in block.preds() {
+                if !self.dag.contains(pred) && !self.pending.contains_key(pred) {
+                    still_missing
+                        .entry(*pred)
+                        .or_default()
+                        .insert(block.builder());
+                }
+            }
+        }
+        // Drop satisfied entries, keep timers of persisting ones, add new.
+        self.missing.retain(|r, _| still_missing.contains_key(r));
+        for (block_ref, candidates) in still_missing {
+            self.missing
+                .entry(block_ref)
+                .and_modify(|state| state.candidates.extend(candidates.iter().copied()))
+                .or_insert(FwdState {
+                    candidates,
+                    last_sent: None,
+                    attempts: 0,
+                });
+        }
+    }
+
+    /// Emits `FWD` requests for missing blocks, respecting the retry timer.
+    fn collect_fwd_commands(&mut self, now: TimeMs) -> Vec<NetCommand> {
+        let retry = self.config.fwd_retry_ms;
+        let mut commands = Vec::new();
+        for (block_ref, state) in self.missing.iter_mut() {
+            let due = match state.last_sent {
+                None => true,
+                Some(last) => now.saturating_sub(last) >= retry,
+            };
+            if !due || state.candidates.is_empty() {
+                continue;
+            }
+            // Ask the builder of a block that referenced it (line 11);
+            // rotate through candidates on retries.
+            let candidates: Vec<ServerId> = state.candidates.iter().copied().collect();
+            let target = candidates[state.attempts as usize % candidates.len()];
+            state.last_sent = Some(now);
+            state.attempts += 1;
+            self.stats.fwd_sent += 1;
+            commands.push(NetCommand::SendTo {
+                to: target,
+                message: NetMessage::FwdRequest(*block_ref),
+            });
+        }
+        commands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagbft_crypto::KeyRegistry;
+
+    fn gossip_for(registry: &KeyRegistry, id: u32, n: usize) -> Gossip {
+        Gossip::new(
+            ServerId::new(id),
+            GossipConfig::for_n(n),
+            registry.signer(ServerId::new(id)).unwrap(),
+            registry.verifier(),
+        )
+    }
+
+    #[test]
+    fn disseminate_builds_chain() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut gossip = gossip_for(&registry, 0, 2);
+        let (b0, _) = gossip.disseminate(vec![], 0);
+        let (b1, _) = gossip.disseminate(vec![], 10);
+        assert!(b0.is_genesis());
+        assert_eq!(b1.seq(), SeqNum::new(1));
+        assert_eq!(b1.preds(), &[b0.block_ref()]);
+        assert_eq!(gossip.dag().len(), 2);
+        assert_eq!(gossip.stats().blocks_built, 2);
+    }
+
+    #[test]
+    fn received_valid_block_inserted_and_referenced() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let (bob_block, _) = bob.disseminate(vec![], 0);
+
+        let commands = alice.on_block(bob_block.clone(), 0);
+        assert!(commands.is_empty());
+        assert!(alice.dag().contains(&bob_block.block_ref()));
+        assert_eq!(alice.stats().blocks_validated, 1);
+
+        // Alice's next block references Bob's (line 8).
+        let (alice_block, _) = alice.disseminate(vec![], 1);
+        assert!(alice_block.preds().contains(&bob_block.block_ref()));
+    }
+
+    #[test]
+    fn duplicate_blocks_counted_not_reinserted() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let (bob_block, _) = bob.disseminate(vec![], 0);
+        alice.on_block(bob_block.clone(), 0);
+        alice.on_block(bob_block.clone(), 1);
+        assert_eq!(alice.stats().duplicate_blocks, 1);
+        assert_eq!(alice.dag().len(), 1);
+        // The reference is appended only once (Lemma A.6).
+        let (alice_block, _) = alice.disseminate(vec![], 2);
+        let count = alice_block
+            .preds()
+            .iter()
+            .filter(|r| **r == bob_block.block_ref())
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let forged = Block::build_with_signature(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            dagbft_crypto::Signature::NULL,
+        );
+        alice.on_block(forged.clone(), 0);
+        assert_eq!(alice.stats().invalid_blocks, 1);
+        assert!(!alice.dag().contains(&forged.block_ref()));
+    }
+
+    #[test]
+    fn unknown_builder_rejected() {
+        let registry = KeyRegistry::generate(4, 1);
+        let mut alice = gossip_for(&registry, 0, 2); // only servers 0 and 1
+        let outsider = Block::build(
+            ServerId::new(3),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            &registry.signer(ServerId::new(3)).unwrap(),
+        );
+        alice.on_block(outsider, 0);
+        assert_eq!(alice.stats().invalid_blocks, 1);
+    }
+
+    #[test]
+    fn missing_pred_triggers_fwd_to_builder() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let (bob_b0, _) = bob.disseminate(vec![], 0);
+        let (bob_b1, _) = bob.disseminate(vec![], 1);
+
+        // Alice receives b1 without b0: FWD to Bob (builder of b1).
+        let commands = alice.on_block(bob_b1.clone(), 5);
+        assert_eq!(
+            commands,
+            vec![NetCommand::SendTo {
+                to: ServerId::new(1),
+                message: NetMessage::FwdRequest(bob_b0.block_ref()),
+            }]
+        );
+        assert_eq!(alice.pending_len(), 1);
+        assert_eq!(alice.stats().fwd_sent, 1);
+
+        // Bob answers the FWD with the block.
+        let answers = bob.on_fwd_request(ServerId::new(0), bob_b0.block_ref());
+        assert_eq!(
+            answers,
+            vec![NetCommand::SendTo {
+                to: ServerId::new(0),
+                message: NetMessage::Block(bob_b0.clone()),
+            }]
+        );
+
+        // Delivery resolves the gap; both blocks are promoted.
+        alice.on_block(bob_b0.clone(), 6);
+        assert!(alice.dag().contains(&bob_b0.block_ref()));
+        assert!(alice.dag().contains(&bob_b1.block_ref()));
+        assert_eq!(alice.pending_len(), 0);
+    }
+
+    #[test]
+    fn fwd_retry_respects_interval() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let (_bob_b0, _) = bob.disseminate(vec![], 0);
+        let (bob_b1, _) = bob.disseminate(vec![], 1);
+
+        let first = alice.on_block(bob_b1, 0);
+        assert_eq!(first.len(), 1);
+        // Too early: no retry.
+        assert!(alice.on_tick(50).is_empty());
+        // After the interval: retried.
+        let retried = alice.on_tick(100);
+        assert_eq!(retried.len(), 1);
+        assert_eq!(alice.stats().fwd_sent, 2);
+    }
+
+    #[test]
+    fn fwd_request_for_unknown_block_ignored() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let bogus = BlockRef::from_digest(dagbft_crypto::Digest::ZERO);
+        assert!(alice.on_fwd_request(ServerId::new(1), bogus).is_empty());
+        assert_eq!(alice.stats().fwd_received, 1);
+        assert_eq!(alice.stats().fwd_answered, 0);
+    }
+
+    #[test]
+    fn equivocating_blocks_both_accepted() {
+        // Figure 3: equivocation is *valid*; detection is the DAG's job,
+        // tolerance is P's job.
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let signer1 = registry.signer(ServerId::new(1)).unwrap();
+        let b3 = Block::build(ServerId::new(1), SeqNum::ZERO, vec![], vec![], &signer1);
+        let b4 = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(crate::Label::new(1), &9u8)],
+            &signer1,
+        );
+        alice.on_block(b3.clone(), 0);
+        alice.on_block(b4.clone(), 0);
+        assert!(alice.dag().contains(&b3.block_ref()));
+        assert!(alice.dag().contains(&b4.block_ref()));
+        assert_eq!(alice.dag().equivocations(ServerId::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn block_with_two_distinct_parents_rejected() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let signer1 = registry.signer(ServerId::new(1)).unwrap();
+        let g_a = Block::build(ServerId::new(1), SeqNum::ZERO, vec![], vec![], &signer1);
+        let g_b = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(crate::Label::new(1), &9u8)],
+            &signer1,
+        );
+        let child = Block::build(
+            ServerId::new(1),
+            SeqNum::new(1),
+            vec![g_a.block_ref(), g_b.block_ref()],
+            vec![],
+            &signer1,
+        );
+        alice.on_block(g_a, 0);
+        alice.on_block(g_b, 0);
+        alice.on_block(child.clone(), 0);
+        assert!(!alice.dag().contains(&child.block_ref()));
+        assert_eq!(alice.stats().invalid_blocks, 1);
+    }
+
+    #[test]
+    fn net_message_wire_roundtrip() {
+        let registry = KeyRegistry::generate(1, 1);
+        let signer = registry.signer(ServerId::new(0)).unwrap();
+        let block = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer);
+        for message in [
+            NetMessage::Block(block.clone()),
+            NetMessage::FwdRequest(block.block_ref()),
+        ] {
+            let bytes = encode_to_vec(&message);
+            assert_eq!(bytes.len(), message.wire_len());
+            let decoded: NetMessage =
+                dagbft_codec::decode_from_slice(&bytes).unwrap();
+            assert_eq!(decoded, message);
+        }
+    }
+
+    #[test]
+    fn out_of_order_chain_promotes_in_one_pass() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut alice = gossip_for(&registry, 0, 2);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let blocks: Vec<Block> = (0..5).map(|t| bob.disseminate(vec![], t).0).collect();
+        // Deliver in reverse order: everything buffers, then promotes at once.
+        for block in blocks.iter().rev().take(4) {
+            alice.on_block(block.clone(), 0);
+        }
+        assert_eq!(alice.dag().len(), 0);
+        alice.on_block(blocks[0].clone(), 1);
+        assert_eq!(alice.dag().len(), 5);
+        assert_eq!(alice.pending_len(), 0);
+        assert!(alice.dag().check_invariants());
+    }
+}

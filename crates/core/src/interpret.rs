@@ -1,0 +1,845 @@
+//! Interpreting a protocol on the block DAG — Algorithm 2 of the paper.
+//!
+//! Every server interprets the protocol `P` embedded in its local DAG `G`,
+//! completely decoupled from building the DAG. To interpret one protocol
+//! instance labeled `ℓ`, the server locally runs one process instance of
+//! `P(ℓ)` for *every* server, and drives these simulations from the
+//! structure of the DAG:
+//!
+//! * a request `(ℓ, r) ∈ B.rs` is fed to the instance of `B.n`
+//!   (lines 5–6);
+//! * an edge `B_i ⇀ B` materializes the delivery, to `B.n`'s instance, of
+//!   every message in `B_i.Ms[out, ℓ]` addressed to `B.n` (lines 8–11), in
+//!   the global total order `<_M`;
+//! * the instance state `PIs` flows along parent edges (line 4).
+//!
+//! None of the materialized messages is ever sent over the network: they
+//! are recomputed locally thanks to `P`'s determinism — the paper's
+//! *message compression up to omission* (§4). Because interpretation only
+//! reads `G` and `P` is deterministic, every server reaches exactly the
+//! same states (Lemma 4.2), which is what makes the DAG an authenticated
+//! perfect point-to-point link (Lemma 4.3).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use dagbft_codec::decode_from_slice;
+use dagbft_crypto::ServerId;
+
+use crate::block::BlockRef;
+use crate::dag::BlockDag;
+use crate::label::Label;
+use crate::protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig};
+
+/// An indication `(ℓ, i, s)` raised while interpreting: instance `ℓ` of the
+/// *simulated* server `s` indicated `i` (Algorithm 2, lines 13–14).
+///
+/// The shim forwards only indications with `s = me` to the user
+/// (Algorithm 3, line 8); the rest are observable for auditing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Indication<I> {
+    /// The protocol instance that indicated.
+    pub label: Label,
+    /// The indication `i ∈ Inds_P`.
+    pub indication: I,
+    /// The simulated server on whose behalf the indication was produced.
+    pub server: ServerId,
+}
+
+/// Errors from explicit single-block interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpretError {
+    /// The reference does not resolve in the provided DAG.
+    UnknownBlock {
+        /// The unresolved reference.
+        block: BlockRef,
+    },
+    /// The block has uninterpreted predecessors (`eligible(B)` is false).
+    NotEligible {
+        /// The predecessors still awaiting interpretation.
+        pending: Vec<BlockRef>,
+    },
+    /// `I[B]` already holds; a block is interpreted exactly once.
+    AlreadyInterpreted {
+        /// The block in question.
+        block: BlockRef,
+    },
+}
+
+impl fmt::Display for InterpretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpretError::UnknownBlock { block } => write!(f, "unknown block {block}"),
+            InterpretError::NotEligible { pending } => {
+                write!(f, "block not eligible: {} preds uninterpreted", pending.len())
+            }
+            InterpretError::AlreadyInterpreted { block } => {
+                write!(f, "block {block} already interpreted")
+            }
+        }
+    }
+}
+
+impl Error for InterpretError {}
+
+/// Interpretation state attached to one block `B`:
+/// `B.PIs`, `B.Ms[out, ·]`, `B.Ms[in, ·]` in the paper's notation.
+#[derive(Debug, Clone)]
+pub struct BlockState<P: DeterministicProtocol> {
+    /// `B.PIs[ℓ]`: the state of process instance `ℓ` of server `B.n`,
+    /// *after* interpreting `B`. Instances are created lazily on first
+    /// request or message (the implementation refinement the paper notes
+    /// in §4).
+    pis: BTreeMap<Label, P>,
+    /// `B.Ms[out, ℓ]`: messages sent by `B.n`'s instance at this block.
+    outs: BTreeMap<Label, BTreeSet<Envelope<P::Message>>>,
+    /// `B.Ms[in, ℓ]`: messages delivered to `B.n`'s instance at this block.
+    ins: BTreeMap<Label, BTreeSet<Envelope<P::Message>>>,
+    /// Labels with a request at this block or any ancestor — the set the
+    /// in-collection of line 7 ranges over (for descendants).
+    active: BTreeSet<Label>,
+}
+
+impl<P: DeterministicProtocol> BlockState<P> {
+    /// The simulated instance of `label` for the block's builder, if it has
+    /// been started.
+    pub fn instance(&self, label: Label) -> Option<&P> {
+        self.pis.get(&label)
+    }
+
+    /// Out-going messages `B.Ms[out, ℓ]` produced at this block.
+    pub fn out_messages(&self, label: Label) -> impl Iterator<Item = &Envelope<P::Message>> {
+        self.outs.get(&label).into_iter().flatten()
+    }
+
+    /// In-coming messages `B.Ms[in, ℓ]` delivered at this block.
+    pub fn in_messages(&self, label: Label) -> impl Iterator<Item = &Envelope<P::Message>> {
+        self.ins.get(&label).into_iter().flatten()
+    }
+
+    /// Labels active at this block (requested here or at an ancestor).
+    pub fn active_labels(&self) -> impl Iterator<Item = &Label> {
+        self.active.iter()
+    }
+
+    /// Labels for which this block produced out-going messages.
+    pub fn out_labels(&self) -> impl Iterator<Item = &Label> {
+        self.outs.keys()
+    }
+}
+
+/// Approximate memory footprint of an interpreter (see
+/// [`Interpreter::footprint`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpreterFootprint {
+    /// Interpreted blocks with stored state.
+    pub blocks: usize,
+    /// Protocol instances held across all block states.
+    pub instances: usize,
+    /// Envelopes in out-buffers.
+    pub out_envelopes: usize,
+    /// Envelopes in in-buffers (droppable via [`Interpreter::compact`]).
+    pub in_envelopes: usize,
+}
+
+/// Counters describing an interpreter's work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpretStats {
+    /// Blocks interpreted (`I[B]` set).
+    pub blocks_interpreted: u64,
+    /// Requests fed to instances (line 6).
+    pub requests_processed: u64,
+    /// Requests whose payload failed to decode as `P::Request` (byzantine
+    /// garbage; skipped — `P` never sees them).
+    pub malformed_requests: u64,
+    /// Messages materialized into out-buffers. These messages were *never*
+    /// sent over the network (the compression claim, §4).
+    pub messages_materialized: u64,
+    /// Messages delivered from in-buffers to instances (line 11).
+    pub messages_delivered: u64,
+    /// Indications raised across all simulated servers.
+    pub indications: u64,
+}
+
+/// The `interpret(G, P)` module of Algorithm 2.
+///
+/// The interpreter never mutates the DAG; it tracks which blocks it has
+/// interpreted (`I[B]`, line 2) and owns the per-block protocol state. Feed
+/// it a growing DAG via [`Interpreter::step`].
+///
+/// # Examples
+///
+/// See the crate-level docs; the interpreter is normally driven through
+/// [`crate::Shim`].
+#[derive(Debug)]
+pub struct Interpreter<P: DeterministicProtocol> {
+    config: ProtocolConfig,
+    states: HashMap<BlockRef, BlockState<P>>,
+    /// Interpretation order (for audits; any eligible-respecting order
+    /// yields identical states, Lemma 4.2).
+    order: Vec<BlockRef>,
+    indications: Vec<Indication<P::Indication>>,
+    stats: InterpretStats,
+    /// Incremental eligibility tracking for [`Interpreter::step`]: how many
+    /// blocks of the DAG's insertion order have been scanned …
+    scanned: usize,
+    /// … per uninterpreted block, the number of uninterpreted distinct
+    /// predecessors …
+    waiting: HashMap<BlockRef, usize>,
+    /// … the reverse dependency index …
+    dependents: HashMap<BlockRef, Vec<BlockRef>>,
+    /// … and the queue of blocks whose predecessors are all interpreted.
+    ready: std::collections::VecDeque<BlockRef>,
+}
+
+impl<P: DeterministicProtocol> Interpreter<P> {
+    /// Creates an interpreter for the given protocol configuration.
+    pub fn new(config: ProtocolConfig) -> Self {
+        Interpreter {
+            config,
+            states: HashMap::new(),
+            order: Vec::new(),
+            indications: Vec::new(),
+            stats: InterpretStats::default(),
+            scanned: 0,
+            waiting: HashMap::new(),
+            dependents: HashMap::new(),
+            ready: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// `I[B]`: whether `block` has been interpreted.
+    pub fn is_interpreted(&self, block: &BlockRef) -> bool {
+        self.states.contains_key(block)
+    }
+
+    /// Number of interpreted blocks.
+    pub fn interpreted_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &InterpretStats {
+        &self.stats
+    }
+
+    /// Interpretation state attached to `block`, if interpreted.
+    pub fn state(&self, block: &BlockRef) -> Option<&BlockState<P>> {
+        self.states.get(block)
+    }
+
+    /// Blocks interpreted so far, in interpretation order.
+    pub fn interpreted_order(&self) -> &[BlockRef] {
+        &self.order
+    }
+
+    /// The blocks currently eligible: `I[B]` is false and `I[B_i]` holds
+    /// for every `B_i ∈ B.preds` (Algorithm 2, line 3).
+    pub fn eligible(&self, dag: &BlockDag) -> Vec<BlockRef> {
+        dag.refs()
+            .filter(|r| !self.is_interpreted(r))
+            .filter(|r| {
+                dag.preds_of(r)
+                    .iter()
+                    .all(|p| self.is_interpreted(p))
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Interprets every block of `dag` that is or becomes eligible, to a
+    /// fixed point. Returns the number of blocks interpreted.
+    ///
+    /// Since `G` is finite and acyclic, every block is picked eventually
+    /// (Lemma A.10); a single call interprets everything currently in the
+    /// DAG. Eligibility is tracked incrementally (`O(V + E)` across all
+    /// calls), so repeatedly stepping a growing DAG — the shim does this
+    /// after every gossip change — costs only the new blocks.
+    pub fn step(&mut self, dag: &BlockDag) -> usize {
+        self.scan_new_blocks(dag);
+        let mut total = 0;
+        while let Some(block_ref) = self.ready.pop_front() {
+            if self.is_interpreted(&block_ref) {
+                continue; // interpreted out-of-band via interpret_block()
+            }
+            self.interpret_block(dag, &block_ref)
+                .expect("ready block interprets");
+            total += 1;
+        }
+        total
+    }
+
+    /// Feeds blocks appended to the DAG since the last scan into the
+    /// incremental eligibility tracker.
+    fn scan_new_blocks(&mut self, dag: &BlockDag) {
+        let refs: Vec<BlockRef> = dag.refs().skip(self.scanned).copied().collect();
+        self.scanned += refs.len();
+        for block_ref in refs {
+            if self.is_interpreted(&block_ref) || self.waiting.contains_key(&block_ref) {
+                continue;
+            }
+            let missing: Vec<BlockRef> = dag
+                .preds_of(&block_ref)
+                .into_iter()
+                .filter(|p| !self.is_interpreted(p))
+                .collect();
+            if missing.is_empty() {
+                self.ready.push_back(block_ref);
+            } else {
+                self.waiting.insert(block_ref, missing.len());
+                for pred in missing {
+                    self.dependents.entry(pred).or_default().push(block_ref);
+                }
+            }
+        }
+    }
+
+    /// Called after a block was interpreted: releases dependents whose last
+    /// missing predecessor it was.
+    fn release_dependents(&mut self, block_ref: &BlockRef) {
+        for dependent in self.dependents.remove(block_ref).unwrap_or_default() {
+            if let Some(count) = self.waiting.get_mut(&dependent) {
+                *count -= 1;
+                if *count == 0 {
+                    self.waiting.remove(&dependent);
+                    self.ready.push_back(dependent);
+                }
+            }
+        }
+    }
+
+    /// Interprets a single eligible block (Algorithm 2, lines 4–12).
+    ///
+    /// # Errors
+    ///
+    /// * [`InterpretError::UnknownBlock`] — `block` not in `dag`;
+    /// * [`InterpretError::AlreadyInterpreted`] — `I[B]` already holds;
+    /// * [`InterpretError::NotEligible`] — some predecessor uninterpreted.
+    pub fn interpret_block(
+        &mut self,
+        dag: &BlockDag,
+        block_ref: &BlockRef,
+    ) -> Result<(), InterpretError> {
+        let block = dag.get(block_ref).ok_or(InterpretError::UnknownBlock {
+            block: *block_ref,
+        })?;
+        if self.is_interpreted(block_ref) {
+            return Err(InterpretError::AlreadyInterpreted { block: *block_ref });
+        }
+        let preds = dag.preds_of(block_ref);
+        let pending: Vec<BlockRef> = preds
+            .iter()
+            .filter(|p| !self.is_interpreted(p))
+            .copied()
+            .collect();
+        if !pending.is_empty() {
+            return Err(InterpretError::NotEligible { pending });
+        }
+
+        let me = block.builder();
+
+        // Line 4: PIs := copy of the parent's PIs. Genesis blocks (and, for
+        // lazily created labels, first contact) start fresh instances.
+        let parent = block
+            .parent_via(|r| dag.meta(r))
+            .expect("blocks in the DAG satisfy the parent rule");
+        let mut pis: BTreeMap<Label, P> = match parent {
+            Some(parent_ref) => self.states[&parent_ref].pis.clone(),
+            None => BTreeMap::new(),
+        };
+
+        // Labels relevant at this block: requested at any strict ancestor
+        // (union over preds of their active sets) — line 7 — plus the labels
+        // requested at this block itself.
+        let mut active: BTreeSet<Label> = BTreeSet::new();
+        for pred in &preds {
+            active.extend(self.states[pred].active.iter().copied());
+        }
+
+        let mut outs: BTreeMap<Label, BTreeSet<Envelope<P::Message>>> = BTreeMap::new();
+        let mut ins: BTreeMap<Label, BTreeSet<Envelope<P::Message>>> = BTreeMap::new();
+        let mut touched: BTreeSet<Label> = BTreeSet::new();
+        let config = self.config;
+
+        // Lines 5–6: feed the block's own requests to B.n's instances.
+        for labeled in block.requests() {
+            let label = labeled.label;
+            match decode_from_slice::<P::Request>(&labeled.payload) {
+                Ok(request) => {
+                    let instance = pis
+                        .entry(label)
+                        .or_insert_with(|| P::new(&config, label, me));
+                    let mut outbox = Outbox::new();
+                    instance.on_request(request, &mut outbox);
+                    let envelopes: Vec<_> = outbox.into_envelopes(me).collect();
+                    self.stats.messages_materialized += envelopes.len() as u64;
+                    outs.entry(label).or_default().extend(envelopes);
+                    active.insert(label);
+                    touched.insert(label);
+                    self.stats.requests_processed += 1;
+                }
+                Err(_) => {
+                    // A byzantine builder inscribed bytes that are not a
+                    // request of P. P assumes requests are authentic
+                    // (§5); garbage never reaches it.
+                    self.stats.malformed_requests += 1;
+                }
+            }
+        }
+
+        // Lines 7–11: for every relevant label, collect the in-messages
+        // addressed to B.n from the direct predecessors' out-buffers and
+        // deliver them in the total order <_M.
+        for label in active.iter().copied() {
+            let mut inbox: BTreeSet<Envelope<P::Message>> = BTreeSet::new();
+            for pred in &preds {
+                if let Some(out) = self.states[pred].outs.get(&label) {
+                    inbox.extend(out.iter().filter(|e| e.receiver == me).cloned());
+                }
+            }
+            if inbox.is_empty() {
+                continue;
+            }
+            let instance = pis
+                .entry(label)
+                .or_insert_with(|| P::new(&config, label, me));
+            for envelope in &inbox {
+                let mut outbox = Outbox::new();
+                instance.on_message(envelope.sender, envelope.message.clone(), &mut outbox);
+                let envelopes: Vec<_> = outbox.into_envelopes(me).collect();
+                self.stats.messages_materialized += envelopes.len() as u64;
+                outs.entry(label).or_default().extend(envelopes);
+                self.stats.messages_delivered += 1;
+            }
+            touched.insert(label);
+            ins.insert(label, inbox);
+        }
+
+        // Lines 13–14: surface indications from the instances driven here.
+        for label in &touched {
+            if let Some(instance) = pis.get_mut(label) {
+                for indication in instance.drain_indications() {
+                    self.stats.indications += 1;
+                    self.indications.push(Indication {
+                        label: *label,
+                        indication,
+                        server: me,
+                    });
+                }
+            }
+        }
+
+        // Line 12: I[B] := true.
+        self.states.insert(
+            *block_ref,
+            BlockState {
+                pis,
+                outs,
+                ins,
+                active,
+            },
+        );
+        self.order.push(*block_ref);
+        self.stats.blocks_interpreted += 1;
+        self.release_dependents(block_ref);
+        Ok(())
+    }
+
+    /// Drops the stored `Ms[in, ·]` buffers of interpreted blocks.
+    ///
+    /// In-buffers are kept only for introspection (figure traces, audits);
+    /// the interpretation itself never reads them back, so compaction is
+    /// always safe. Out-buffers and instance states must be retained:
+    /// *any* block — including a byzantine server's — may still reference
+    /// an old block directly (§7 discusses this unbounded-memory
+    /// limitation of the abstraction). Returns the number of envelopes
+    /// dropped.
+    pub fn compact(&mut self) -> usize {
+        let mut dropped = 0;
+        for state in self.states.values_mut() {
+            for (_, ins) in std::mem::take(&mut state.ins) {
+                dropped += ins.len();
+            }
+        }
+        dropped
+    }
+
+    /// Approximate memory footprint: stored protocol instances, out- and
+    /// in-envelopes across all interpreted blocks. Used by the bounded-
+    /// memory experiments and as the input to compaction policies.
+    pub fn footprint(&self) -> InterpreterFootprint {
+        let mut footprint = InterpreterFootprint::default();
+        for state in self.states.values() {
+            footprint.instances += state.pis.len();
+            footprint.out_envelopes += state.outs.values().map(BTreeSet::len).sum::<usize>();
+            footprint.in_envelopes += state.ins.values().map(BTreeSet::len).sum::<usize>();
+        }
+        footprint.blocks = self.states.len();
+        footprint
+    }
+
+    /// Removes and returns the indications raised since the last drain.
+    pub fn drain_indications(&mut self) -> Vec<Indication<P::Indication>> {
+        std::mem::take(&mut self.indications)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, LabeledRequest, SeqNum};
+    use dagbft_crypto::{KeyRegistry, Signer};
+
+    /// A deterministic ping protocol: on request, send PING to everyone;
+    /// on PING, indicate the value once.
+    #[derive(Debug, Clone)]
+    struct Ping {
+        config: ProtocolConfig,
+        seen: BTreeSet<u64>,
+        pending: Vec<u64>,
+    }
+
+    impl DeterministicProtocol for Ping {
+        type Request = u64;
+        type Message = u64;
+        type Indication = u64;
+
+        fn new(config: &ProtocolConfig, _label: Label, _me: ServerId) -> Self {
+            Ping {
+                config: *config,
+                seen: BTreeSet::new(),
+                pending: Vec::new(),
+            }
+        }
+
+        fn on_request(&mut self, request: u64, outbox: &mut Outbox<u64>) {
+            outbox.broadcast(&self.config, request);
+        }
+
+        fn on_message(&mut self, _sender: ServerId, message: u64, _outbox: &mut Outbox<u64>) {
+            if self.seen.insert(message) {
+                self.pending.push(message);
+            }
+        }
+
+        fn drain_indications(&mut self) -> Vec<u64> {
+            std::mem::take(&mut self.pending)
+        }
+    }
+
+    fn setup(n: usize) -> (KeyRegistry, Vec<Signer>) {
+        let registry = KeyRegistry::generate(n, 21);
+        let signers = (0..n)
+            .map(|i| registry.signer(ServerId::new(i as u32)).unwrap())
+            .collect();
+        (registry, signers)
+    }
+
+    /// Two servers; s0's genesis carries a request; both build follow-ups
+    /// referencing each other's blocks.
+    fn two_server_dag() -> (BlockDag, Vec<Block>) {
+        let (_, signers) = setup(2);
+        let label = Label::new(1);
+        let b0 = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(label, &7u64)],
+            &signers[0],
+        );
+        let b1 = Block::build(ServerId::new(1), SeqNum::ZERO, vec![], vec![], &signers[1]);
+        // s1 references both genesis blocks: receives s0's PING here.
+        let b2 = Block::build(
+            ServerId::new(1),
+            SeqNum::new(1),
+            vec![b1.block_ref(), b0.block_ref()],
+            vec![],
+            &signers[1],
+        );
+        // s0 references its own genesis (self-delivery) and s1's chain.
+        let b3 = Block::build(
+            ServerId::new(0),
+            SeqNum::new(1),
+            vec![b0.block_ref(), b2.block_ref()],
+            vec![],
+            &signers[0],
+        );
+        let mut dag = BlockDag::new();
+        for block in [&b0, &b1, &b2, &b3] {
+            dag.insert(block.clone()).unwrap();
+        }
+        (dag, vec![b0, b1, b2, b3])
+    }
+
+    #[test]
+    fn eligibility_respects_partial_order() {
+        let (dag, blocks) = two_server_dag();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        let eligible = interpreter.eligible(&dag);
+        // Only the two genesis blocks are eligible initially.
+        assert_eq!(eligible.len(), 2);
+        assert!(eligible.contains(&blocks[0].block_ref()));
+        assert!(eligible.contains(&blocks[1].block_ref()));
+
+        let err = interpreter
+            .interpret_block(&dag, &blocks[2].block_ref())
+            .unwrap_err();
+        assert!(matches!(err, InterpretError::NotEligible { .. }));
+    }
+
+    #[test]
+    fn request_materializes_broadcast_messages() {
+        let (dag, blocks) = two_server_dag();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        interpreter.step(&dag);
+        let state = interpreter.state(&blocks[0].block_ref()).unwrap();
+        let outs: Vec<_> = state.out_messages(Label::new(1)).collect();
+        // PING 7 to s0 and s1.
+        assert_eq!(outs.len(), 2);
+        assert!(outs.iter().all(|e| e.sender == ServerId::new(0)));
+        assert!(outs.iter().all(|e| e.message == 7));
+    }
+
+    #[test]
+    fn edges_deliver_messages_and_raise_indications() {
+        let (dag, blocks) = two_server_dag();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        let interpreted = interpreter.step(&dag);
+        assert_eq!(interpreted, 4);
+
+        // b2 (by s1) received PING 7 via the edge b0 ⇀ b2.
+        let state_b2 = interpreter.state(&blocks[2].block_ref()).unwrap();
+        let ins: Vec<_> = state_b2.in_messages(Label::new(1)).collect();
+        assert_eq!(ins.len(), 1);
+        assert_eq!(ins[0].receiver, ServerId::new(1));
+
+        // b3 (by s0) received its own PING via b0 ⇀ b3 (self-delivery on
+        // the next own block).
+        let state_b3 = interpreter.state(&blocks[3].block_ref()).unwrap();
+        let ins3: Vec<_> = state_b3.in_messages(Label::new(1)).collect();
+        assert_eq!(ins3.len(), 1);
+        assert_eq!(ins3[0].receiver, ServerId::new(0));
+
+        // Both simulated servers indicated 7 exactly once.
+        let indications = interpreter.drain_indications();
+        let mut by_server: Vec<_> = indications
+            .iter()
+            .map(|i| (i.server.index(), i.indication))
+            .collect();
+        by_server.sort();
+        assert_eq!(by_server, vec![(0, 7), (1, 7)]);
+    }
+
+    #[test]
+    fn interpretation_is_idempotent_per_block() {
+        let (dag, blocks) = two_server_dag();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        interpreter.step(&dag);
+        let err = interpreter
+            .interpret_block(&dag, &blocks[0].block_ref())
+            .unwrap_err();
+        assert!(matches!(err, InterpretError::AlreadyInterpreted { .. }));
+        // step() on an unchanged DAG does nothing.
+        assert_eq!(interpreter.step(&dag), 0);
+    }
+
+    #[test]
+    fn lemma_4_2_interpretation_order_independent() {
+        let (dag, _) = two_server_dag();
+        // Interpreter A: default (topological) order via step().
+        let mut a: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        a.step(&dag);
+        // Interpreter B: repeatedly pick the *last* eligible block.
+        let mut b: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        loop {
+            let eligible = b.eligible(&dag);
+            let Some(pick) = eligible.last() else { break };
+            b.interpret_block(&dag, pick).unwrap();
+        }
+        for r in dag.refs() {
+            let state_a = a.state(r).unwrap();
+            let state_b = b.state(r).unwrap();
+            for label in [Label::new(1)] {
+                let outs_a: Vec<_> = state_a.out_messages(label).collect();
+                let outs_b: Vec<_> = state_b.out_messages(label).collect();
+                assert_eq!(outs_a, outs_b);
+                let ins_a: Vec<_> = state_a.in_messages(label).collect();
+                let ins_b: Vec<_> = state_b.in_messages(label).collect();
+                assert_eq!(ins_a, ins_b);
+            }
+        }
+        assert_eq!(a.stats().messages_delivered, b.stats().messages_delivered);
+    }
+
+    #[test]
+    fn growing_dag_extends_interpretation() {
+        let (dag_full, blocks) = two_server_dag();
+        let mut dag_partial = BlockDag::new();
+        dag_partial.insert(blocks[0].clone()).unwrap();
+        dag_partial.insert(blocks[1].clone()).unwrap();
+
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        assert_eq!(interpreter.step(&dag_partial), 2);
+        // Extend to the full DAG (G ≤ G'): previously interpreted state is
+        // reused, only the new blocks are processed.
+        assert_eq!(interpreter.step(&dag_full), 2);
+        assert_eq!(interpreter.interpreted_count(), 4);
+    }
+
+    #[test]
+    fn malformed_request_payload_skipped() {
+        let (_, signers) = setup(1);
+        let garbage = LabeledRequest {
+            label: Label::new(1),
+            payload: bytes::Bytes::from_static(&[0xff, 0x01]),
+        };
+        let block = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![garbage],
+            &signers[0],
+        );
+        let mut dag = BlockDag::new();
+        dag.insert(block.clone()).unwrap();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(1));
+        interpreter.step(&dag);
+        assert_eq!(interpreter.stats().malformed_requests, 1);
+        assert_eq!(interpreter.stats().requests_processed, 0);
+    }
+
+    #[test]
+    fn unknown_block_error() {
+        let (dag, _) = two_server_dag();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        let bogus = BlockRef::from_digest(dagbft_crypto::Digest::ZERO);
+        assert!(matches!(
+            interpreter.interpret_block(&dag, &bogus),
+            Err(InterpretError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn equivocation_splits_instance_state() {
+        // A byzantine s1 builds two k=0 blocks with different requests; the
+        // interpreted instance state for s1 splits (Figure 3 discussion).
+        let (_, signers) = setup(2);
+        let label = Label::new(1);
+        let b3 = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(label, &1u64)],
+            &signers[1],
+        );
+        let b4 = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(label, &2u64)],
+            &signers[1],
+        );
+        let mut dag = BlockDag::new();
+        dag.insert(b3.clone()).unwrap();
+        dag.insert(b4.clone()).unwrap();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        interpreter.step(&dag);
+        let out3: Vec<_> = interpreter
+            .state(&b3.block_ref())
+            .unwrap()
+            .out_messages(label)
+            .map(|e| e.message)
+            .collect();
+        let out4: Vec<_> = interpreter
+            .state(&b4.block_ref())
+            .unwrap()
+            .out_messages(label)
+            .map(|e| e.message)
+            .collect();
+        assert!(out3.iter().all(|m| *m == 1));
+        assert!(out4.iter().all(|m| *m == 2));
+    }
+
+    #[test]
+    fn incremental_step_matches_batch_interpretation() {
+        // Interleave manual interpret_block() calls with step() on a
+        // growing DAG: the tracker must neither skip nor double-interpret.
+        let (dag_full, blocks) = two_server_dag();
+        let mut dag_partial = BlockDag::new();
+        dag_partial.insert(blocks[0].clone()).unwrap();
+        dag_partial.insert(blocks[1].clone()).unwrap();
+
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        // Manually interpret one genesis, then step the partial DAG.
+        interpreter
+            .interpret_block(&dag_partial, &blocks[1].block_ref())
+            .unwrap();
+        assert_eq!(interpreter.step(&dag_partial), 1);
+        // Grow the DAG and step again.
+        assert_eq!(interpreter.step(&dag_full), 2);
+        assert_eq!(interpreter.interpreted_count(), 4);
+        // No block interpreted twice: order has unique entries.
+        let unique: std::collections::BTreeSet<_> =
+            interpreter.interpreted_order().iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn compact_drops_only_in_buffers() {
+        let (dag, blocks) = two_server_dag();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        interpreter.step(&dag);
+
+        let before = interpreter.footprint();
+        assert!(before.in_envelopes > 0);
+        assert!(before.out_envelopes > 0);
+        let dropped = interpreter.compact();
+        assert_eq!(dropped, before.in_envelopes);
+
+        let after = interpreter.footprint();
+        assert_eq!(after.in_envelopes, 0);
+        assert_eq!(after.out_envelopes, before.out_envelopes);
+        assert_eq!(after.instances, before.instances);
+        // Out-buffers still serve future blocks correctly.
+        let state = interpreter.state(&blocks[0].block_ref()).unwrap();
+        assert_eq!(state.out_messages(Label::new(1)).count(), 2);
+    }
+
+    #[test]
+    fn parallel_labels_are_independent() {
+        let (_, signers) = setup(1);
+        let b0 = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![
+                LabeledRequest::encode(Label::new(1), &10u64),
+                LabeledRequest::encode(Label::new(2), &20u64),
+            ],
+            &signers[0],
+        );
+        let b1 = Block::build(
+            ServerId::new(0),
+            SeqNum::new(1),
+            vec![b0.block_ref()],
+            vec![],
+            &signers[0],
+        );
+        let mut dag = BlockDag::new();
+        dag.insert(b0.clone()).unwrap();
+        dag.insert(b1.clone()).unwrap();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(1));
+        interpreter.step(&dag);
+
+        let state = interpreter.state(&b1.block_ref()).unwrap();
+        let in1: Vec<_> = state.in_messages(Label::new(1)).map(|e| e.message).collect();
+        let in2: Vec<_> = state.in_messages(Label::new(2)).map(|e| e.message).collect();
+        assert_eq!(in1, vec![10]);
+        assert_eq!(in2, vec![20]);
+
+        let indications = interpreter.drain_indications();
+        let labels: BTreeSet<_> = indications.iter().map(|i| i.label).collect();
+        assert_eq!(labels.len(), 2);
+    }
+}

@@ -1,0 +1,494 @@
+//! The shim — Algorithm 3 of the paper.
+//!
+//! `shim(P)` choreographs the external user of `P`, the [`crate::gossip`]
+//! protocol and the [`crate::interpret`] protocol:
+//!
+//! * `request(ℓ, r)` buffers the request (lines 6–7); the next
+//!   `disseminate()` writes buffered requests into the current block
+//!   (Algorithm 1, line 15), and interpretation eventually feeds them to
+//!   `P` (Lemma A.17);
+//! * indications raised by the interpretation *for this server* are
+//!   forwarded to the user (lines 8–9, Lemma A.18);
+//! * `disseminate()` is requested repeatedly (lines 10–11) — here by the
+//!   caller (simulator or event loop), which controls pacing to meet `P`'s
+//!   network assumptions.
+//!
+//! Theorem 5.1: with these pieces, `shim(P)` implements `P`'s interface and
+//! preserves every property of `P` whose proof relies on the reliable
+//! point-to-point link abstraction.
+//!
+//! The paper runs `gossip` and `interpret` as concurrent processes; this
+//! implementation steps the interpreter after every DAG change. The two are
+//! equivalent: interpretation is a deterministic function of the DAG alone
+//! (Lemma 4.2), so scheduling cannot change any outcome — only *when* it
+//! becomes observable.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use dagbft_crypto::{KeyRegistry, ServerId};
+
+use crate::block::LabeledRequest;
+use crate::dag::BlockDag;
+use crate::gossip::{Gossip, GossipConfig, NetCommand, NetMessage};
+use crate::interpret::{Indication, Interpreter};
+use crate::label::Label;
+use crate::protocol::{DeterministicProtocol, ProtocolConfig};
+use crate::TimeMs;
+
+/// Configuration for a [`Shim`] server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShimConfig {
+    /// The embedded protocol's configuration (server count, fault bound).
+    pub protocol: ProtocolConfig,
+    /// `FWD` retransmission pacing (see [`GossipConfig`]).
+    pub fwd_retry_ms: TimeMs,
+    /// Maximum number of buffered requests injected per block
+    /// (`rqsts.get()` returns "a suitable number", Algorithm 3).
+    pub max_requests_per_block: usize,
+}
+
+impl ShimConfig {
+    /// Creates a configuration with default pacing parameters.
+    pub fn new(protocol: ProtocolConfig) -> Self {
+        ShimConfig {
+            protocol,
+            fwd_retry_ms: 100,
+            max_requests_per_block: 1024,
+        }
+    }
+
+    /// Sets the `FWD` retry interval.
+    pub fn with_fwd_retry_ms(mut self, fwd_retry_ms: TimeMs) -> Self {
+        self.fwd_retry_ms = fwd_retry_ms;
+        self
+    }
+
+    /// Sets the per-block request cap.
+    pub fn with_max_requests_per_block(mut self, max: usize) -> Self {
+        self.max_requests_per_block = max;
+        self
+    }
+
+    fn gossip(&self) -> GossipConfig {
+        GossipConfig {
+            n: self.protocol.n,
+            fwd_retry_ms: self.fwd_retry_ms,
+        }
+    }
+}
+
+/// Error constructing a shim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupError {
+    /// The server identity has no key in the registry.
+    UnknownServer {
+        /// The identity without key material.
+        server: ServerId,
+    },
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::UnknownServer { server } => {
+                write!(f, "no signing key for server {server}")
+            }
+        }
+    }
+}
+
+impl Error for SetupError {}
+
+/// A complete block DAG server: `shim(P)` running as one member of `Srvrs`.
+///
+/// Drive it by delivering network messages ([`Shim::on_message`]), ticking
+/// timers ([`Shim::on_tick`]), and requesting dissemination
+/// ([`Shim::disseminate`]); it returns [`NetCommand`]s for the transport.
+/// See the crate-level docs for a runnable example.
+#[derive(Debug)]
+pub struct Shim<P: DeterministicProtocol> {
+    me: ServerId,
+    config: ShimConfig,
+    gossip: Gossip,
+    interpreter: Interpreter<P>,
+    /// The `rqsts` buffer shared between shim and gossip (Algorithm 3,
+    /// line 2; ownership replaces sharing in this implementation).
+    rqsts: VecDeque<LabeledRequest>,
+    /// Indications for `me`, awaiting [`Shim::poll_indications`].
+    delivered: VecDeque<(Label, P::Indication)>,
+    /// Indications raised for *other* servers' simulations — not forwarded
+    /// to the user (Algorithm 3 line 8 requires `s' = s`), but observable
+    /// for auditing and tests.
+    observed: Vec<Indication<P::Indication>>,
+}
+
+impl<P: DeterministicProtocol> Shim<P> {
+    /// Creates the shim for server `me`.
+    ///
+    /// # Errors
+    ///
+    /// [`SetupError::UnknownServer`] if `registry` has no key for `me`.
+    pub fn new(me: ServerId, config: ShimConfig, registry: &KeyRegistry) -> Result<Self, SetupError> {
+        let signer = registry
+            .signer(me)
+            .ok_or(SetupError::UnknownServer { server: me })?;
+        Ok(Shim {
+            me,
+            config,
+            gossip: Gossip::new(me, config.gossip(), signer, registry.verifier()),
+            interpreter: Interpreter::new(config.protocol),
+            rqsts: VecDeque::new(),
+            delivered: VecDeque::new(),
+            observed: Vec::new(),
+        })
+    }
+
+    /// Reconstructs a server from its persisted DAG after a crash.
+    ///
+    /// Gossip resumes the own block chain ([`Gossip::resume`]); the
+    /// interpreter re-derives every instance's state by re-interpreting
+    /// the DAG from scratch — interpretation is a pure function of the DAG
+    /// (Lemma 4.2), so the recovered state is identical to the lost one.
+    /// Indications raised during the replay are delivered again; an
+    /// application persisting its own progress should deduplicate them
+    /// (the paper's "persist enough information … as part of P").
+    ///
+    /// # Errors
+    ///
+    /// [`SetupError::UnknownServer`] if `registry` has no key for `me`.
+    pub fn recover(
+        me: ServerId,
+        config: ShimConfig,
+        registry: &KeyRegistry,
+        dag: BlockDag,
+    ) -> Result<Self, SetupError> {
+        let signer = registry
+            .signer(me)
+            .ok_or(SetupError::UnknownServer { server: me })?;
+        let mut shim = Shim {
+            me,
+            config,
+            gossip: Gossip::resume(me, config.gossip(), signer, registry.verifier(), dag),
+            interpreter: Interpreter::new(config.protocol),
+            rqsts: VecDeque::new(),
+            delivered: VecDeque::new(),
+            observed: Vec::new(),
+        };
+        shim.run_interpretation();
+        Ok(shim)
+    }
+
+    /// The server this shim runs as.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// The shim's configuration.
+    pub fn config(&self) -> &ShimConfig {
+        &self.config
+    }
+
+    /// Read access to the local DAG.
+    pub fn dag(&self) -> &BlockDag {
+        self.gossip.dag()
+    }
+
+    /// Read access to the gossip layer (stats, pending buffer).
+    pub fn gossip(&self) -> &Gossip {
+        &self.gossip
+    }
+
+    /// Read access to the interpreter (per-block states, stats).
+    pub fn interpreter(&self) -> &Interpreter<P> {
+        &self.interpreter
+    }
+
+    /// `request(ℓ, r)`: buffer a user request for instance `ℓ`
+    /// (Algorithm 3, lines 6–7).
+    pub fn request(&mut self, label: Label, request: P::Request) {
+        self.rqsts.push_back(LabeledRequest::encode(label, &request));
+    }
+
+    /// Number of buffered requests not yet written into a block.
+    pub fn pending_requests(&self) -> usize {
+        self.rqsts.len()
+    }
+
+    /// Delivers a network message to this server.
+    pub fn on_message(
+        &mut self,
+        from: ServerId,
+        message: NetMessage,
+        now: TimeMs,
+    ) -> Vec<NetCommand> {
+        let commands = self.gossip.on_message(from, message, now);
+        self.run_interpretation();
+        commands
+    }
+
+    /// Advances timers (`FWD` retries).
+    pub fn on_tick(&mut self, now: TimeMs) -> Vec<NetCommand> {
+        self.gossip.on_tick(now)
+    }
+
+    /// Requests `gossip.disseminate()` (Algorithm 3, lines 10–11): seals
+    /// the current block with up to
+    /// [`ShimConfig::max_requests_per_block`] buffered requests.
+    pub fn disseminate(&mut self, now: TimeMs) -> Vec<NetCommand> {
+        let take = self.rqsts.len().min(self.config.max_requests_per_block);
+        let requests: Vec<LabeledRequest> = self.rqsts.drain(..take).collect();
+        let (_block, commands) = self.gossip.disseminate(requests, now);
+        self.run_interpretation();
+        commands
+    }
+
+    /// Returns indications raised for this server since the last poll
+    /// (Algorithm 3, lines 8–9).
+    pub fn poll_indications(&mut self) -> Vec<(Label, P::Indication)> {
+        self.delivered.drain(..).collect()
+    }
+
+    /// Indications observed for *other* servers' simulations (auditing;
+    /// never part of `P`'s interface).
+    pub fn drain_observed(&mut self) -> Vec<Indication<P::Indication>> {
+        std::mem::take(&mut self.observed)
+    }
+
+    fn run_interpretation(&mut self) {
+        self.interpreter.step(self.gossip.dag());
+        for indication in self.interpreter.drain_indications() {
+            if indication.server == self.me {
+                self.delivered
+                    .push_back((indication.label, indication.indication));
+            } else {
+                self.observed.push(indication);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Outbox;
+    use std::collections::BTreeSet;
+
+    /// Minimal deterministic broadcast: on request, send the value to all;
+    /// indicate each distinct value once on receipt.
+    #[derive(Debug, Clone)]
+    struct Flood {
+        config: ProtocolConfig,
+        seen: BTreeSet<u64>,
+        pending: Vec<u64>,
+    }
+
+    impl DeterministicProtocol for Flood {
+        type Request = u64;
+        type Message = u64;
+        type Indication = u64;
+
+        fn new(config: &ProtocolConfig, _label: Label, _me: ServerId) -> Self {
+            Flood {
+                config: *config,
+                seen: BTreeSet::new(),
+                pending: Vec::new(),
+            }
+        }
+
+        fn on_request(&mut self, request: u64, outbox: &mut Outbox<u64>) {
+            outbox.broadcast(&self.config, request);
+        }
+
+        fn on_message(&mut self, _sender: ServerId, message: u64, _outbox: &mut Outbox<u64>) {
+            if self.seen.insert(message) {
+                self.pending.push(message);
+            }
+        }
+
+        fn drain_indications(&mut self) -> Vec<u64> {
+            std::mem::take(&mut self.pending)
+        }
+    }
+
+    fn network(n: usize) -> Vec<Shim<Flood>> {
+        let registry = KeyRegistry::generate(n, 77);
+        let config = ShimConfig::new(ProtocolConfig::for_n(n));
+        (0..n)
+            .map(|i| Shim::new(ServerId::new(i as u32), config, &registry).unwrap())
+            .collect()
+    }
+
+    /// Executes commands from `origin` against all shims, synchronously, to
+    /// quiescence.
+    fn run_commands(shims: &mut [Shim<Flood>], origin: usize, commands: Vec<NetCommand>, now: TimeMs) {
+        let mut queue: Vec<(usize, NetCommand)> =
+            commands.into_iter().map(|c| (origin, c)).collect();
+        while let Some((from, command)) = queue.pop() {
+            match command {
+                NetCommand::Broadcast { message } => {
+                    for target in 0..shims.len() {
+                        if target != from {
+                            let follow =
+                                shims[target].on_message(ServerId::new(from as u32), message.clone(), now);
+                            queue.extend(follow.into_iter().map(|c| (target, c)));
+                        }
+                    }
+                }
+                NetCommand::SendTo { to, message } => {
+                    let follow = shims[to.index()].on_message(ServerId::new(from as u32), message, now);
+                    queue.extend(follow.into_iter().map(|c| (to.index(), c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn request_travels_through_block_to_all_servers() {
+        let mut shims = network(2);
+        let label = Label::new(1);
+        shims[0].request(label, 42);
+        assert_eq!(shims[0].pending_requests(), 1);
+
+        // s0 disseminates its genesis block with the request.
+        let commands = shims[0].disseminate(0);
+        assert_eq!(shims[0].pending_requests(), 0);
+        run_commands(&mut shims, 0, commands, 0);
+
+        // s1 must reference s0's block, then both deliver their own PING.
+        let commands = shims[1].disseminate(1);
+        run_commands(&mut shims, 1, commands, 1);
+        let commands = shims[0].disseminate(2);
+        run_commands(&mut shims, 0, commands, 2);
+
+        assert_eq!(shims[1].poll_indications(), vec![(label, 42)]);
+        assert_eq!(shims[0].poll_indications(), vec![(label, 42)]);
+    }
+
+    #[test]
+    fn indications_only_for_own_simulation() {
+        let mut shims = network(2);
+        shims[0].request(Label::new(1), 5);
+        let commands = shims[0].disseminate(0);
+        run_commands(&mut shims, 0, commands, 0);
+        let commands = shims[1].disseminate(1);
+        run_commands(&mut shims, 1, commands, 1);
+
+        // s0 observes the indication of s1's simulation but does not
+        // deliver it to its own user.
+        let observed = shims[0].drain_observed();
+        assert!(observed.iter().all(|i| i.server != shims[0].me()));
+        // s1 delivered for itself.
+        assert_eq!(shims[1].poll_indications(), vec![(Label::new(1), 5)]);
+    }
+
+    #[test]
+    fn request_cap_per_block() {
+        let registry = KeyRegistry::generate(1, 3);
+        let config =
+            ShimConfig::new(ProtocolConfig::for_n(1)).with_max_requests_per_block(2);
+        let mut shim: Shim<Flood> = Shim::new(ServerId::new(0), config, &registry).unwrap();
+        for value in 0..5 {
+            shim.request(Label::new(value), value);
+        }
+        shim.disseminate(0);
+        assert_eq!(shim.pending_requests(), 3);
+        shim.disseminate(1);
+        assert_eq!(shim.pending_requests(), 1);
+        let dag = shim.dag();
+        let mut per_block: Vec<usize> = dag.iter().map(|b| b.requests().len()).collect();
+        per_block.sort();
+        assert_eq!(per_block, vec![2, 2]);
+    }
+
+    #[test]
+    fn unknown_server_setup_error() {
+        let registry = KeyRegistry::generate(2, 3);
+        let config = ShimConfig::new(ProtocolConfig::for_n(2));
+        let result: Result<Shim<Flood>, _> = Shim::new(ServerId::new(9), config, &registry);
+        assert_eq!(
+            result.err(),
+            Some(SetupError::UnknownServer {
+                server: ServerId::new(9)
+            })
+        );
+    }
+
+    #[test]
+    fn recover_resumes_chain_without_equivocation() {
+        let registry = KeyRegistry::generate(2, 77);
+        let config = ShimConfig::new(ProtocolConfig::for_n(2));
+        let mut shims = network(2);
+        shims[0].request(Label::new(1), 42);
+        let commands = shims[0].disseminate(0);
+        run_commands(&mut shims, 0, commands, 0);
+        let commands = shims[1].disseminate(1);
+        run_commands(&mut shims, 1, commands, 1);
+        let commands = shims[0].disseminate(2);
+        run_commands(&mut shims, 0, commands, 2);
+        // s0 delivered before the crash.
+        assert_eq!(shims[0].poll_indications(), vec![(Label::new(1), 42)]);
+
+        // "Crash" s0, persist its DAG, recover a fresh shim from it.
+        let image = crate::recovery::persist_dag(shims[0].dag());
+        let dag = crate::recovery::restore_dag(&image).unwrap();
+        let expected_seq = dag.height_of(ServerId::new(0)).unwrap().next();
+        let mut recovered: Shim<Flood> =
+            Shim::recover(ServerId::new(0), config, &registry, dag).unwrap();
+
+        // The replay re-derives the indication (application dedups).
+        assert_eq!(recovered.poll_indications(), vec![(Label::new(1), 42)]);
+
+        // The next disseminated block continues the chain: correct seq, no
+        // second block at an already-used sequence number.
+        recovered.disseminate(2);
+        let own = recovered.me();
+        let dag = recovered.dag();
+        assert_eq!(dag.height_of(own), Some(expected_seq));
+        for k in 0..=expected_seq.value() {
+            assert_eq!(
+                dag.blocks_at(own, crate::SeqNum::new(k)).len(),
+                1,
+                "no equivocation at k{k}"
+            );
+        }
+        assert!(dag.check_invariants());
+    }
+
+    #[test]
+    fn recover_references_unreferenced_blocks() {
+        // s0 crashes having received a block from s1 it never referenced;
+        // the recovery block must reference it, so its messages deliver.
+        let registry = KeyRegistry::generate(2, 77);
+        let config = ShimConfig::new(ProtocolConfig::for_n(2));
+        let mut shims = network(2);
+        // s1 disseminates; s0 receives but crashes before disseminating.
+        let commands = shims[1].disseminate(0);
+        run_commands(&mut shims, 1, commands, 0);
+        let image = crate::recovery::persist_dag(shims[0].dag());
+        let dag = crate::recovery::restore_dag(&image).unwrap();
+        let s1_tip = dag.blocks_at(ServerId::new(1), crate::SeqNum::ZERO)[0];
+
+        let mut recovered: Shim<Flood> =
+            Shim::recover(ServerId::new(0), config, &registry, dag).unwrap();
+        recovered.disseminate(1);
+        let own_genesis = recovered.dag().blocks_at(recovered.me(), crate::SeqNum::ZERO)[0];
+        let block = recovered.dag().get(&own_genesis).unwrap();
+        assert!(
+            block.preds().contains(&s1_tip),
+            "recovered block must reference the pre-crash backlog"
+        );
+    }
+
+    #[test]
+    fn single_server_roundtrip() {
+        let registry = KeyRegistry::generate(1, 3);
+        let config = ShimConfig::new(ProtocolConfig::for_n(1));
+        let mut shim: Shim<Flood> = Shim::new(ServerId::new(0), config, &registry).unwrap();
+        shim.request(Label::new(1), 7);
+        shim.disseminate(0); // request written into the genesis block
+        shim.disseminate(1); // parent edge delivers the self-message
+        assert_eq!(shim.poll_indications(), vec![(Label::new(1), 7)]);
+    }
+}

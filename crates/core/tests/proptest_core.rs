@@ -1,0 +1,141 @@
+//! Property tests at the gossip/DAG level:
+//!
+//! * delivery-order invariance — a gossip instance receiving the same
+//!   block set in any permutation builds the same DAG (the fixed point of
+//!   Algorithm 1's promotion loop, Lemma A.5);
+//! * reference-once — correct servers reference each received block
+//!   exactly once (Lemma A.6), regardless of arrival order;
+//! * block wire fuzz — arbitrary bytes never panic the block decoder.
+
+use dagbft_core::{Block, Gossip, GossipConfig, Label, LabeledRequest, NetMessage, SeqNum};
+use dagbft_crypto::{KeyRegistry, ServerId};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds a set of valid blocks: `builders` servers × `rounds` rounds,
+/// each block referencing the whole previous round.
+fn block_soup(builders: usize, rounds: u64, with_requests: bool) -> Vec<Block> {
+    let registry = KeyRegistry::generate(builders + 1, 17);
+    let signers: Vec<_> = (1..=builders)
+        .map(|i| registry.signer(ServerId::new(i as u32)).unwrap())
+        .collect();
+    let mut blocks = Vec::new();
+    let mut prev: Vec<_> = Vec::new();
+    for round in 0..rounds {
+        let mut layer = Vec::new();
+        for (index, signer) in signers.iter().enumerate() {
+            let requests = if with_requests && round == 0 {
+                vec![LabeledRequest::encode(Label::new(index as u64), &round)]
+            } else {
+                vec![]
+            };
+            let block = Block::build(
+                signer.id(),
+                SeqNum::new(round),
+                prev.clone(),
+                requests,
+                signer,
+            );
+            layer.push(block.block_ref());
+            blocks.push(block);
+        }
+        prev = layer;
+    }
+    blocks
+}
+
+/// Feeds `blocks` to a fresh receiver (server 0) in the given order and
+/// returns (dag block count, refs of the receiver's next block).
+fn receive_in_order(blocks: &[Block], order: &[usize], builders: usize) -> (usize, Vec<String>) {
+    let registry = KeyRegistry::generate(builders + 1, 17);
+    let mut receiver = Gossip::new(
+        ServerId::new(0),
+        GossipConfig::for_n(builders + 1),
+        registry.signer(ServerId::new(0)).unwrap(),
+        registry.verifier(),
+    );
+    for index in order {
+        receiver.on_block(blocks[*index].clone(), 0);
+    }
+    let received = receiver.dag().len(); // before the own block is added
+    let (own, _) = receiver.disseminate(vec![], 1);
+    let mut refs: Vec<String> = own.preds().iter().map(|r| r.to_string()).collect();
+    refs.sort();
+    (received, refs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gossip_is_delivery_order_invariant(
+        builders in 2usize..4,
+        rounds in 1u64..4,
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+    ) {
+        let blocks = block_soup(builders, rounds, true);
+        let mut order_a: Vec<usize> = (0..blocks.len()).collect();
+        let mut order_b = order_a.clone();
+        order_a.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed_a));
+        order_b.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed_b));
+
+        let (len_a, refs_a) = receive_in_order(&blocks, &order_a, builders);
+        let (len_b, refs_b) = receive_in_order(&blocks, &order_b, builders);
+        // Same DAG regardless of arrival order (Lemma A.5 fixed point)…
+        prop_assert_eq!(len_a, blocks.len());
+        prop_assert_eq!(len_a, len_b);
+        // …and the own block references every received block exactly once
+        // (Lemma A.6), as a set.
+        prop_assert_eq!(refs_a.len(), blocks.len());
+        prop_assert_eq!(refs_a, refs_b);
+    }
+
+    #[test]
+    fn duplicate_deliveries_change_nothing(
+        builders in 2usize..4,
+        rounds in 1u64..4,
+        dup_factor in 2usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let blocks = block_soup(builders, rounds, false);
+        let mut order: Vec<usize> = (0..blocks.len())
+            .flat_map(|i| std::iter::repeat(i).take(dup_factor))
+            .collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let (len, refs) = receive_in_order(&blocks, &order, builders);
+        prop_assert_eq!(len, blocks.len());
+        // Each block referenced once despite duplicate deliveries.
+        prop_assert_eq!(refs.len(), blocks.len());
+    }
+
+    #[test]
+    fn block_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = dagbft_codec::decode_from_slice::<Block>(&bytes);
+        let _ = dagbft_codec::decode_from_slice::<NetMessage>(&bytes);
+    }
+
+    #[test]
+    fn block_wire_roundtrip(
+        builder in 0u32..4,
+        seq in 0u64..100,
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..5),
+    ) {
+        let registry = KeyRegistry::generate(4, 3);
+        let signer = registry.signer(ServerId::new(builder)).unwrap();
+        let requests: Vec<LabeledRequest> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| LabeledRequest {
+                label: Label::new(i as u64),
+                payload: bytes::Bytes::from(payload),
+            })
+            .collect();
+        let block = Block::build(ServerId::new(builder), SeqNum::new(seq), vec![], requests, &signer);
+        let bytes = dagbft_codec::encode_to_vec(&block);
+        let decoded: Block = dagbft_codec::decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(decoded.block_ref(), block.block_ref());
+        prop_assert_eq!(decoded, block);
+    }
+}

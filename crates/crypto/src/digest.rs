@@ -1,0 +1,120 @@
+//! 32-byte digest newtype.
+
+use std::fmt;
+
+use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
+
+/// A 256-bit digest, the output of [`crate::sha256`].
+///
+/// Block references (`ref(B)` in Definition 3.1) are digests over a block's
+/// canonical encoding. The type is deliberately opaque: construct one by
+/// hashing, or with [`Digest::from_bytes`] when reading from the wire.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_crypto::sha256;
+///
+/// let digest = sha256(b"abc");
+/// assert_eq!(digest.as_bytes().len(), 32);
+/// assert!(format!("{digest}").starts_with("ba7816bf"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as a placeholder (never produced by SHA-256
+    /// on practical inputs).
+    pub const ZERO: Digest = Digest([0; 32]);
+
+    /// Wraps raw digest bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Renders the full digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(64);
+        for byte in &self.0 {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+
+    /// First eight hex characters, for compact display in logs and graphs.
+    pub fn short_hex(&self) -> String {
+        self.to_hex()[..8].to_owned()
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl WireEncode for Digest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl WireDecode for Digest {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Digest(<[u8; 32]>::decode(reader)?))
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagbft_codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn hex_roundtrip_shape() {
+        let digest = Digest::from_bytes([0xab; 32]);
+        assert_eq!(digest.to_hex(), "ab".repeat(32));
+        assert_eq!(digest.short_hex(), "abababab");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let digest = Digest::from_bytes([7; 32]);
+        let bytes = encode_to_vec(&digest);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(decode_from_slice::<Digest>(&bytes).unwrap(), digest);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_short() {
+        let text = format!("{:?}", Digest::ZERO);
+        assert!(text.contains("00000000"));
+        assert!(text.len() < 32);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let low = Digest::from_bytes([0; 32]);
+        let mut high_bytes = [0; 32];
+        high_bytes[0] = 1;
+        let high = Digest::from_bytes(high_bytes);
+        assert!(low < high);
+    }
+}

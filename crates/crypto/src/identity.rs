@@ -1,0 +1,84 @@
+//! Server identity.
+
+use std::fmt;
+
+use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
+
+/// Identity of a server in `Srvrs` (§2 of the paper).
+///
+/// The set of servers is fixed and known to everyone; identities are dense
+/// indices `0..n`, which keeps configuration maps simple and deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_crypto::ServerId;
+///
+/// let id = ServerId::new(2);
+/// assert_eq!(id.index(), 2);
+/// assert_eq!(format!("{id}"), "s2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Creates the identity with dense index `index`.
+    pub fn new(index: u32) -> Self {
+        ServerId(index)
+    }
+
+    /// The dense index of this server in `0..n`.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns an iterator over all `n` server identities.
+    pub fn all(n: usize) -> impl Iterator<Item = ServerId> + Clone {
+        (0..n as u32).map(ServerId)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl WireEncode for ServerId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl WireDecode for ServerId {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ServerId(u32::decode(reader)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_yields_dense_indices() {
+        let ids: Vec<_> = ServerId::all(3).collect();
+        assert_eq!(ids, vec![ServerId::new(0), ServerId::new(1), ServerId::new(2)]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ServerId::new(7).to_string(), "s7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ServerId::new(0) < ServerId::new(1));
+    }
+}

@@ -1,0 +1,316 @@
+//! Signature scheme stand-in: HMAC-SHA256 under a trusted key registry.
+//!
+//! The paper assumes a secure signature scheme whose failure probability is
+//! zero (§2). In this reproduction, "signatures" are MACs under per-server
+//! secret keys distributed by a trusted [`KeyRegistry`] at setup — the
+//! classical pairwise-symmetric-key model. Within the simulation this gives
+//! exactly the abstraction the paper assumes:
+//!
+//! * only server `s` (which holds `k_s`) can produce `sign(s, m)`;
+//! * every server can verify, via the registry's verification handle;
+//! * forging requires breaking HMAC-SHA256, treated as impossible.
+//!
+//! The economic property the paper leans on — *batch signatures*, one
+//! signature per block instead of one per protocol message (§4) — is
+//! preserved, and [`CryptoMetrics`] counts sign/verify operations so the
+//! benchmarks can report it (experiment E6).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{hmac_sha256, Digest, ServerId};
+
+/// A per-server signing key.
+#[derive(Clone)]
+pub struct SecretKey([u8; 32]);
+
+impl SecretKey {
+    /// Creates a key from raw bytes (useful in tests).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SecretKey(bytes)
+    }
+
+    fn mac(&self, message: &[u8]) -> Digest {
+        hmac_sha256(&self.0, message)
+    }
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(…)")
+    }
+}
+
+/// A signature over a message, produced by [`Signer::sign`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Signature(Digest);
+
+impl Signature {
+    /// A placeholder signature (all zeroes); never verifies.
+    pub const NULL: Signature = Signature(Digest::ZERO);
+
+    /// Wire size of a signature in bytes.
+    pub const SIZE: usize = 32;
+
+    /// Raw digest backing this signature.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+}
+
+impl WireEncode for Signature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl WireDecode for Signature {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Signature(Digest::decode(reader)?))
+    }
+}
+
+/// Counters for cryptographic operations, shared by all handles derived from
+/// one [`KeyRegistry`].
+///
+/// Experiment E6 (signature batching) reads these to compare the embedding
+/// against the direct point-to-point baseline.
+#[derive(Debug, Default)]
+pub struct CryptoMetrics {
+    signs: AtomicU64,
+    verifies: AtomicU64,
+}
+
+impl CryptoMetrics {
+    /// Number of signing operations performed so far.
+    pub fn signs(&self) -> u64 {
+        self.signs.load(Ordering::Relaxed)
+    }
+
+    /// Number of verification operations performed so far.
+    pub fn verifies(&self) -> u64 {
+        self.verifies.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.signs.store(0, Ordering::Relaxed);
+        self.verifies.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    keys: Vec<SecretKey>,
+    metrics: CryptoMetrics,
+}
+
+/// Trusted key setup for a fixed server set.
+///
+/// Generates one secret key per server; hands out [`Signer`] handles (one
+/// per server, carrying only that server's key) and [`Verifier`] handles
+/// (able to check any server's signature).
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_crypto::{KeyRegistry, ServerId};
+///
+/// let registry = KeyRegistry::generate(4, 42);
+/// let signer = registry.signer(ServerId::new(3)).unwrap();
+/// let sig = signer.sign(b"hello");
+/// assert!(registry.verifier().verify(ServerId::new(3), b"hello", &sig));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl KeyRegistry {
+    /// Generates keys for `n` servers from a deterministic seed.
+    ///
+    /// Deterministic seeding keeps whole-simulation runs reproducible.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = (0..n)
+            .map(|_| {
+                let mut key = [0u8; 32];
+                rng.fill(&mut key);
+                SecretKey(key)
+            })
+            .collect();
+        KeyRegistry {
+            inner: Arc::new(RegistryInner {
+                keys,
+                metrics: CryptoMetrics::default(),
+            }),
+        }
+    }
+
+    /// Number of servers with keys in this registry.
+    pub fn len(&self) -> usize {
+        self.inner.keys.len()
+    }
+
+    /// Returns `true` if the registry holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.inner.keys.is_empty()
+    }
+
+    /// Returns the signing handle for `id`, or `None` for unknown servers.
+    pub fn signer(&self, id: ServerId) -> Option<Signer> {
+        let key = self.inner.keys.get(id.index())?.clone();
+        Some(Signer {
+            id,
+            key,
+            registry: self.inner.clone(),
+        })
+    }
+
+    /// Returns a verification handle over all servers' keys.
+    pub fn verifier(&self) -> Verifier {
+        Verifier {
+            registry: self.inner.clone(),
+        }
+    }
+
+    /// Shared operation counters for all handles of this registry.
+    pub fn metrics(&self) -> &CryptoMetrics {
+        &self.inner.metrics
+    }
+}
+
+/// Signing handle for a single server.
+///
+/// Holds only that server's key: simulated byzantine servers receive their
+/// own [`Signer`] and therefore cannot forge others' signatures.
+#[derive(Debug, Clone)]
+pub struct Signer {
+    id: ServerId,
+    key: SecretKey,
+    registry: Arc<RegistryInner>,
+}
+
+impl Signer {
+    /// The identity this handle signs for.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Signs `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.registry.metrics.signs.fetch_add(1, Ordering::Relaxed);
+        Signature(self.key.mac(message))
+    }
+}
+
+/// Verification handle over the whole server set.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    registry: Arc<RegistryInner>,
+}
+
+impl Verifier {
+    /// Checks that `signature` is `sign(claimed, message)`.
+    ///
+    /// Returns `false` for unknown identities or mismatched tags.
+    pub fn verify(&self, claimed: ServerId, message: &[u8], signature: &Signature) -> bool {
+        self.registry
+            .metrics
+            .verifies
+            .fetch_add(1, Ordering::Relaxed);
+        match self.registry.keys.get(claimed.index()) {
+            Some(key) => key.mac(message) == signature.0,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::generate(4, 1)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let registry = registry();
+        let signer = registry.signer(ServerId::new(0)).unwrap();
+        let sig = signer.sign(b"m");
+        assert!(registry.verifier().verify(ServerId::new(0), b"m", &sig));
+    }
+
+    #[test]
+    fn wrong_identity_rejected() {
+        let registry = registry();
+        let signer = registry.signer(ServerId::new(0)).unwrap();
+        let sig = signer.sign(b"m");
+        assert!(!registry.verifier().verify(ServerId::new(1), b"m", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let registry = registry();
+        let signer = registry.signer(ServerId::new(2)).unwrap();
+        let sig = signer.sign(b"m");
+        assert!(!registry.verifier().verify(ServerId::new(2), b"m2", &sig));
+    }
+
+    #[test]
+    fn null_signature_never_verifies() {
+        let registry = registry();
+        assert!(!registry
+            .verifier()
+            .verify(ServerId::new(0), b"m", &Signature::NULL));
+    }
+
+    #[test]
+    fn unknown_server_rejected() {
+        let registry = registry();
+        assert!(registry.signer(ServerId::new(10)).is_none());
+        let signer = registry.signer(ServerId::new(0)).unwrap();
+        let sig = signer.sign(b"m");
+        assert!(!registry.verifier().verify(ServerId::new(10), b"m", &sig));
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let registry = registry();
+        let signer = registry.signer(ServerId::new(0)).unwrap();
+        let verifier = registry.verifier();
+        assert_eq!(registry.metrics().signs(), 0);
+        let sig = signer.sign(b"m");
+        verifier.verify(ServerId::new(0), b"m", &sig);
+        verifier.verify(ServerId::new(0), b"m", &sig);
+        assert_eq!(registry.metrics().signs(), 1);
+        assert_eq!(registry.metrics().verifies(), 2);
+        registry.metrics().reset();
+        assert_eq!(registry.metrics().verifies(), 0);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = KeyRegistry::generate(2, 9);
+        let b = KeyRegistry::generate(2, 9);
+        let sig_a = a.signer(ServerId::new(0)).unwrap().sign(b"x");
+        let sig_b = b.signer(ServerId::new(0)).unwrap().sign(b"x");
+        assert_eq!(sig_a, sig_b);
+
+        let c = KeyRegistry::generate(2, 10);
+        let sig_c = c.signer(ServerId::new(0)).unwrap().sign(b"x");
+        assert_ne!(sig_a, sig_c);
+    }
+
+    #[test]
+    fn secret_key_debug_hides_material() {
+        let key = SecretKey::from_bytes([9; 32]);
+        assert_eq!(format!("{key:?}"), "SecretKey(…)");
+    }
+}

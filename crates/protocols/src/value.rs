@@ -1,0 +1,32 @@
+//! The value alphabet `Vals` protocols range over.
+
+use std::fmt::Debug;
+
+use dagbft_codec::{WireDecode, WireEncode};
+
+/// Bound alias for the values a protocol broadcasts or commits
+/// (`v ∈ Vals` in the paper's §5).
+///
+/// Values must be orderable (they appear inside protocol messages, which
+/// carry the total order `<_M`), cloneable, printable, and wire-codable
+/// (they travel inside block request payloads).
+///
+/// The trait is blanket-implemented; never implement it manually.
+pub trait Value: Clone + Debug + Ord + WireEncode + WireDecode {}
+
+impl<T: Clone + Debug + Ord + WireEncode + WireDecode> Value for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_value<V: Value>() {}
+
+    #[test]
+    fn common_types_are_values() {
+        assert_value::<u64>();
+        assert_value::<String>();
+        assert_value::<Vec<u8>>();
+        assert_value::<(u64, String)>();
+    }
+}

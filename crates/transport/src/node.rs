@@ -1,0 +1,204 @@
+//! The node event loop: a [`Shim`] driven by a [`TcpTransport`].
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dagbft_core::{
+    shim::SetupError, DeterministicProtocol, Label, NetCommand, Shim, ShimConfig, TimeMs,
+};
+use dagbft_crypto::{KeyRegistry, ServerId};
+
+use crate::tcp::TcpTransport;
+
+/// Pacing configuration for a node's event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Interval between `disseminate()` calls (Algorithm 3, lines 10–11).
+    pub disseminate_every_ms: u64,
+    /// Interval between `FWD` retry ticks.
+    pub tick_every_ms: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            disseminate_every_ms: 50,
+            tick_every_ms: 100,
+        }
+    }
+}
+
+/// Control handle for a running node thread.
+///
+/// Dropping the handle without [`NodeHandle::stop`] detaches the node.
+#[derive(Debug)]
+pub struct NodeHandle<P: DeterministicProtocol> {
+    me: ServerId,
+    requests_tx: Sender<(Label, P::Request)>,
+    indications_rx: Receiver<(Label, P::Indication)>,
+    stop_tx: Sender<()>,
+    thread: Option<JoinHandle<Shim<P>>>,
+}
+
+impl<P: DeterministicProtocol> NodeHandle<P> {
+    /// The server this node runs as.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// Submits `request(label, request)` to the node's shim.
+    pub fn request(&self, label: Label, request: P::Request) {
+        let _ = self.requests_tx.send((label, request));
+    }
+
+    /// The channel of indications the node's user receives.
+    pub fn indications(&self) -> &Receiver<(Label, P::Indication)> {
+        &self.indications_rx
+    }
+
+    /// Stops the node and returns its final shim (DAG, stats) for
+    /// inspection.
+    pub fn stop(mut self) -> Shim<P> {
+        let _ = self.stop_tx.send(());
+        self.thread
+            .take()
+            .expect("stop called once")
+            .join()
+            .expect("node thread exits cleanly")
+    }
+}
+
+/// Spawns a node: a [`Shim<P>`] event loop over an already-bound
+/// transport.
+///
+/// # Errors
+///
+/// [`SetupError::UnknownServer`] if `registry` lacks a key for
+/// `transport.me()`.
+pub fn spawn_node<P>(
+    config: ShimConfig,
+    node_config: NodeConfig,
+    registry: &KeyRegistry,
+    transport: TcpTransport,
+) -> Result<NodeHandle<P>, SetupError>
+where
+    P: DeterministicProtocol + Send + 'static,
+    P::Request: Send,
+    P::Message: Send,
+    P::Indication: Send,
+{
+    let me = transport.me();
+    let mut shim: Shim<P> = Shim::new(me, config, registry)?;
+    let (requests_tx, requests_rx) = unbounded::<(Label, P::Request)>();
+    let (indications_tx, indications_rx) = unbounded();
+    let (stop_tx, stop_rx) = unbounded::<()>();
+    let pacing = node_config;
+
+    let thread = std::thread::spawn(move || {
+        let start = Instant::now();
+        let now_ms = |start: Instant| -> TimeMs { start.elapsed().as_millis() as TimeMs };
+        let mut next_disseminate = 0;
+        let mut next_tick = pacing.tick_every_ms;
+        loop {
+            // Run timers that are due.
+            let now = now_ms(start);
+            if now >= next_disseminate {
+                let commands = shim.disseminate(now);
+                route(&transport, commands);
+                next_disseminate = now + pacing.disseminate_every_ms;
+            }
+            if now >= next_tick {
+                let commands = shim.on_tick(now);
+                route(&transport, commands);
+                next_tick = now + pacing.tick_every_ms;
+            }
+            for indication in shim.poll_indications() {
+                let _ = indications_tx.send(indication);
+            }
+
+            // Wait for the next message, request, or timer deadline.
+            let wait = next_disseminate
+                .min(next_tick)
+                .saturating_sub(now_ms(start))
+                .clamp(1, 50);
+            crossbeam::channel::select! {
+                recv(transport.incoming()) -> incoming => {
+                    if let Ok((from, message)) = incoming {
+                        let now = now_ms(start);
+                        let commands = shim.on_message(from, message, now);
+                        route(&transport, commands);
+                    }
+                }
+                recv(requests_rx) -> request => {
+                    if let Ok((label, request)) = request {
+                        shim.request(label, request);
+                    }
+                }
+                recv(stop_rx) -> _ => {
+                    transport.shutdown();
+                    return shim;
+                }
+                default(Duration::from_millis(wait)) => {}
+            }
+        }
+    });
+
+    Ok(NodeHandle {
+        me,
+        requests_tx,
+        indications_rx,
+        stop_tx,
+        thread: Some(thread),
+    })
+}
+
+fn route(transport: &TcpTransport, commands: Vec<NetCommand>) {
+    for command in commands {
+        match command {
+            NetCommand::Broadcast { message } => transport.broadcast(message),
+            NetCommand::SendTo { to, message } => transport.send(to, message),
+        }
+    }
+}
+
+/// Spawns `n` nodes on localhost (ephemeral ports) running `shim(P)` over
+/// TCP, all sharing one deterministic key registry.
+///
+/// # Errors
+///
+/// Propagates listener bind failures.
+pub fn spawn_local_cluster<P>(
+    n: usize,
+    config: ShimConfig,
+    node_config: NodeConfig,
+    seed: u64,
+) -> std::io::Result<(Vec<NodeHandle<P>>, KeyRegistry)>
+where
+    P: DeterministicProtocol + Send + 'static,
+    P::Request: Send,
+    P::Message: Send,
+    P::Indication: Send,
+{
+    let registry = KeyRegistry::generate(n, seed);
+    // Phase 1: bind all listeners to learn the port assignment.
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(std::net::TcpListener::local_addr)
+        .collect::<std::io::Result<_>>()?;
+    // Phase 2: release the probe listeners, rebind real transports on the
+    // same ports with the full peer table.
+    drop(listeners);
+    let mut handles = Vec::with_capacity(n);
+    for (index, addr) in addrs.iter().enumerate() {
+        let transport = TcpTransport::bind(ServerId::new(index as u32), *addr, addrs.clone())?;
+        let handle = spawn_node::<P>(config, node_config, &registry, transport)
+            .expect("registry covers all servers");
+        handles.push(handle);
+    }
+    Ok((handles, registry))
+}

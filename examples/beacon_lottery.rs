@@ -1,0 +1,61 @@
+//! De-randomization (§7): a leader lottery from coins inscribed in blocks.
+//!
+//! Each server draws a coin from its local entropy — outside the
+//! deterministic protocol — and contributes it via a request, so the coin
+//! travels inside the server's next block. Interpreting the joint DAG,
+//! every server deterministically mixes all `n` coins and agrees on the
+//! same lottery winner, with zero extra network traffic beyond the blocks.
+//!
+//! Run with: `cargo run --release --example beacon_lottery`
+
+use dagbft::prelude::*;
+use dagbft::protocols::beacon::{Beacon, BeaconRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 4;
+    let rounds = 3u64; // several independent lottery rounds, one label each
+    let config = SimConfig::new(n)
+        .with_max_time(30_000)
+        .with_stop_after_deliveries(rounds as usize * n);
+    let mut sim: Simulation<Beacon> = Simulation::new(config);
+
+    // Local entropy per server (a seeded RNG stands in for /dev/urandom —
+    // the protocol itself never sees the RNG, only the drawn values).
+    let mut entropy = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..rounds {
+        for server in 0..n {
+            sim.inject(Injection {
+                at: round * 500 + server as u64 * 3,
+                server,
+                label: Label::new(round),
+                request: BeaconRequest::Contribute(entropy.gen()),
+            });
+        }
+    }
+
+    let outcome = sim.run();
+    println!("=== §7 de-randomization: leader lottery over the block DAG ===\n");
+    for round in 0..rounds {
+        let label = Label::new(round);
+        let deliveries = outcome.deliveries_for(label);
+        assert_eq!(deliveries.len(), n, "round {round} incomplete");
+        let first = &deliveries[0].indication;
+        for delivery in &deliveries {
+            assert_eq!(
+                &delivery.indication, first,
+                "servers disagreed on round {round}"
+            );
+        }
+        println!(
+            "round {round}: beacon value {:#018x} → winner {}   (agreed by all {n} servers)",
+            first.value, first.winner
+        );
+    }
+    println!(
+        "\nwire traffic: {} messages ({} blocks, {} FWD) — the coins rode the blocks.",
+        outcome.net.messages_sent, outcome.net.blocks_sent, outcome.net.fwd_sent
+    );
+    println!("OK: every round produced one agreed winner.");
+}

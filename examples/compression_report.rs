@@ -1,0 +1,101 @@
+//! Experiment E5 preview: message compression, DAG vs direct baseline.
+//!
+//! Runs the same BRB workload (1 broadcast, all servers deliver) on the
+//! block DAG embedding and on the traditional direct point-to-point
+//! deployment, sweeping the server count, and prints the wire and
+//! signature costs side by side. The full parameter sweeps live in the
+//! bench crate (`cargo bench`, `report_*` binaries).
+//!
+//! Run with: `cargo run --example compression_report`
+
+use dagbft::prelude::*;
+
+struct Row {
+    n: usize,
+    dag_msgs: u64,
+    dag_bytes: u64,
+    dag_sigs: u64,
+    direct_msgs: u64,
+    direct_bytes: u64,
+    direct_sigs: u64,
+}
+
+fn run_dag(n: usize) -> (u64, u64, u64) {
+    let config = SimConfig::new(n)
+        .with_max_time(30_000)
+        .with_stop_after_deliveries(n);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    sim.inject(Injection {
+        at: 0,
+        server: 0,
+        label: Label::new(1),
+        request: BrbRequest::Broadcast(42),
+    });
+    let outcome = sim.run();
+    assert_eq!(outcome.deliveries.len(), n);
+    (
+        outcome.net.messages_sent,
+        outcome.net.bytes_sent,
+        outcome.signatures,
+    )
+}
+
+fn run_direct(n: usize) -> (u64, u64, u64) {
+    let config = BaselineConfig::new(n)
+        .with_max_time(30_000)
+        .with_stop_after_deliveries(n);
+    let mut sim: BaselineSimulation<Brb<u64>> = BaselineSimulation::new(config);
+    sim.inject(DirectInjection {
+        at: 0,
+        server: 0,
+        label: Label::new(1),
+        request: BrbRequest::Broadcast(42),
+    });
+    let outcome = sim.run();
+    assert_eq!(outcome.deliveries.len(), n);
+    (
+        outcome.net.messages_sent,
+        outcome.net.bytes_sent,
+        outcome.signatures,
+    )
+}
+
+fn main() {
+    println!("=== E5/E6: wire + signature cost, one BRB broadcast to delivery ===\n");
+    println!(
+        "{:>3} | {:>9} {:>10} {:>6} | {:>9} {:>10} {:>6} | {:>8}",
+        "n", "dag msgs", "dag bytes", "sigs", "dir msgs", "dir bytes", "sigs", "msg ratio"
+    );
+    println!("{}", "-".repeat(80));
+
+    for n in [4, 7, 10, 13, 16] {
+        let (dag_msgs, dag_bytes, dag_sigs) = run_dag(n);
+        let (direct_msgs, direct_bytes, direct_sigs) = run_direct(n);
+        let row = Row {
+            n,
+            dag_msgs,
+            dag_bytes,
+            dag_sigs,
+            direct_msgs,
+            direct_bytes,
+            direct_sigs,
+        };
+        println!(
+            "{:>3} | {:>9} {:>10} {:>6} | {:>9} {:>10} {:>6} | {:>8.2}",
+            row.n,
+            row.dag_msgs,
+            row.dag_bytes,
+            row.dag_sigs,
+            row.direct_msgs,
+            row.direct_bytes,
+            row.direct_sigs,
+            row.direct_msgs as f64 / row.dag_msgs as f64,
+        );
+    }
+
+    println!(
+        "\nNote: a single broadcast is the *worst case* for the DAG (blocks are\n\
+         nearly empty). The advantage compounds with parallel instances —\n\
+         run `cargo run --release -p dagbft-bench --bin report_parallel`."
+    );
+}

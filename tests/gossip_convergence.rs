@@ -1,0 +1,167 @@
+//! Lemma 3.6/3.7: eventual convergence of correct servers' DAGs — under
+//! clean networks, loss, and healed partitions (experiment E10's
+//! functional side).
+
+use dagbft::prelude::*;
+
+/// Runs a sim and returns per-correct-server DAG block counts plus the
+/// outcome.
+fn converged_sizes(outcome: &SimOutcome<Brb<u64>>) -> Vec<usize> {
+    outcome
+        .correct_servers()
+        .into_iter()
+        .map(|i| outcome.shim(i).dag().len())
+        .collect()
+}
+
+/// Checks all correct servers' DAGs agree up to in-flight blocks: the
+/// symmetric difference between any two is bounded by what can still be on
+/// the wire at the cutoff instant (a couple of blocks per server).
+fn dags_agree(outcome: &SimOutcome<Brb<u64>>, n: usize) -> bool {
+    let correct = outcome.correct_servers();
+    let sets: Vec<std::collections::BTreeSet<BlockRef>> = correct
+        .iter()
+        .map(|i| outcome.shim(*i).dag().refs().copied().collect())
+        .collect();
+    sets.windows(2).all(|pair| {
+        let diff = pair[0].symmetric_difference(&pair[1]).count();
+        diff <= 2 * n
+    })
+}
+
+#[test]
+fn clean_network_converges() {
+    let config = SimConfig::new(4).with_max_time(2_000);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    sim.inject(Injection {
+        at: 0,
+        server: 0,
+        label: Label::new(1),
+        request: BrbRequest::Broadcast(1),
+    });
+    let outcome = sim.run();
+    let sizes = converged_sizes(&outcome);
+    // Within one dissemination interval of each other.
+    let min = sizes.iter().min().unwrap();
+    let max = sizes.iter().max().unwrap();
+    assert!(max - min <= 4, "sizes {sizes:?}");
+    assert!(dags_agree(&outcome, 4));
+}
+
+#[test]
+fn lossy_network_converges_via_fwd() {
+    for drop_rate in [0.1, 0.3, 0.5] {
+        let config = SimConfig::new(4)
+            .with_max_time(30_000)
+            .with_network(NetworkModel::default().with_drop_rate(drop_rate))
+            .with_stop_after_deliveries(4);
+        let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+        sim.inject(Injection {
+            at: 0,
+            server: 0,
+            label: Label::new(1),
+            request: BrbRequest::Broadcast(9),
+        });
+        let outcome = sim.run();
+        assert_eq!(
+            outcome.deliveries.len(),
+            4,
+            "drop rate {drop_rate}: delivery failed"
+        );
+        assert!(outcome.net.messages_dropped > 0);
+        if drop_rate >= 0.3 {
+            assert!(
+                outcome.net.fwd_sent > 0,
+                "drop rate {drop_rate}: recovery should need FWDs"
+            );
+        }
+    }
+}
+
+#[test]
+fn partition_heals_and_converges() {
+    // Split {0,1} | {2,3} for 2 seconds, then heal. Liveness resumes:
+    // a broadcast injected *during* the partition delivers after healing.
+    let partition = Partition {
+        a: [0, 1].into_iter().collect(),
+        b: [2, 3].into_iter().collect(),
+        from: 0,
+        until: 2_000,
+    };
+    let config = SimConfig::new(4)
+        .with_max_time(60_000)
+        .with_network(NetworkModel::default().with_partition(partition))
+        .with_stop_after_deliveries(4);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    sim.inject(Injection {
+        at: 100,
+        server: 0,
+        label: Label::new(1),
+        request: BrbRequest::Broadcast(5),
+    });
+    let outcome = sim.run();
+    assert_eq!(outcome.deliveries.len(), 4, "post-heal delivery");
+    // Deliveries on the far side happen only after the heal.
+    for delivery in &outcome.deliveries {
+        if delivery.server.index() >= 2 {
+            assert!(
+                delivery.at >= 2_000,
+                "server {} delivered during partition",
+                delivery.server
+            );
+        }
+    }
+}
+
+#[test]
+fn all_dags_verify_invariants_after_chaos() {
+    let config = SimConfig::new(7)
+        .with_max_time(10_000)
+        .with_network(NetworkModel::default().with_drop_rate(0.2))
+        .with_role(5, Role::Equivocate { at_seq: 2 })
+        .with_role(6, Role::Silent);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    for i in 0..5 {
+        sim.inject(Injection {
+            at: i * 100,
+            server: (i % 5) as usize,
+            label: Label::new(i),
+            request: BrbRequest::Broadcast(i),
+        });
+    }
+    let outcome = sim.run();
+    for index in outcome.correct_servers() {
+        assert!(
+            outcome.shim(index).dag().check_invariants(),
+            "server {index} DAG invariants"
+        );
+    }
+}
+
+#[test]
+fn sequence_numbers_form_chains_per_correct_server() {
+    let config = SimConfig::new(4).with_max_time(3_000);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    sim.inject(Injection {
+        at: 0,
+        server: 0,
+        label: Label::new(1),
+        request: BrbRequest::Broadcast(1),
+    });
+    let outcome = sim.run();
+    let dag = outcome.shim(0).dag();
+    for server in 0..4u32 {
+        let server = ServerId::new(server);
+        let Some(height) = dag.height_of(server) else {
+            continue;
+        };
+        // Every sequence number 0..=height is present exactly once.
+        for k in 0..=height.value() {
+            assert_eq!(
+                dag.blocks_at(server, SeqNum::new(k)).len(),
+                1,
+                "{server} at k{k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Crash–recovery end to end (§7): a server crashes mid-run, restarts from
+//! its persisted DAG, catches up through gossip, and keeps participating —
+//! without ever equivocating.
+
+use std::collections::BTreeSet;
+
+use dagbft::prelude::*;
+
+#[test]
+fn restarted_server_catches_up_and_delivers() {
+    let n = 4;
+    let config = SimConfig::new(n)
+        .with_max_time(60_000)
+        .with_role(
+            3,
+            Role::Restart {
+                crash_at: 500,
+                rejoin_at: 2_000,
+            },
+        )
+        // Instance 1 delivers everywhere pre-crash (4); instance 2 is
+        // injected while s3 is down and must deliver at all 4 after the
+        // rejoin (another 4). Replayed indications are discarded by the
+        // runner, so 8 total.
+        .with_stop_after_deliveries(8);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    sim.inject(Injection {
+        at: 0,
+        server: 0,
+        label: Label::new(1),
+        request: BrbRequest::Broadcast(10),
+    });
+    sim.inject(Injection {
+        at: 1_000, // while s3 is down
+        server: 1,
+        label: Label::new(2),
+        request: BrbRequest::Broadcast(20),
+    });
+    let outcome = sim.run();
+
+    // The restarted server delivered the instance injected during its
+    // downtime.
+    let late_deliverers: BTreeSet<usize> = outcome
+        .deliveries_for(Label::new(2))
+        .iter()
+        .map(|d| d.server.index())
+        .collect();
+    assert!(
+        late_deliverers.contains(&3),
+        "restarted server must catch up: {late_deliverers:?}"
+    );
+    assert_eq!(late_deliverers.len(), 4);
+
+    // No equivocation: in every correct DAG, s3 has at most one block per
+    // sequence number.
+    for index in outcome.correct_servers() {
+        let dag = outcome.shim(index).dag();
+        assert!(
+            dag.equivocations(ServerId::new(3)).is_empty(),
+            "restart must not equivocate (observer {index})"
+        );
+    }
+    // The restarted server is a correct server at the end.
+    assert!(outcome.correct_servers().contains(&3));
+}
+
+#[test]
+fn restart_is_transparent_to_other_servers() {
+    // Other servers' delivered values are unaffected by the churn.
+    let n = 4;
+    let config = SimConfig::new(n)
+        .with_max_time(60_000)
+        .with_role(
+            2,
+            Role::Restart {
+                crash_at: 300,
+                rejoin_at: 1_500,
+            },
+        )
+        .with_stop_after_deliveries(8);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    for i in 0..2u64 {
+        sim.inject(Injection {
+            at: i * 700, // one before, one during the outage
+            server: 0,
+            label: Label::new(i),
+            request: BrbRequest::Broadcast(100 + i),
+        });
+    }
+    let outcome = sim.run();
+    for label in 0..2u64 {
+        let values: BTreeSet<u64> = outcome
+            .deliveries_for(Label::new(label))
+            .iter()
+            .map(|d| {
+                let BrbIndication::Deliver(v) = d.indication;
+                v
+            })
+            .collect();
+        assert_eq!(values, [100 + label].into_iter().collect());
+    }
+}
+
+#[test]
+fn repeated_outages_still_converge() {
+    // A flappy server: two restart cycles happen to the same index via a
+    // long downtime window; the rest of the cluster never stalls.
+    let n = 7; // f = 2: even counting the flapper as faulty, quorums hold
+    let config = SimConfig::new(n)
+        .with_max_time(90_000)
+        .with_role(
+            6,
+            Role::Restart {
+                crash_at: 200,
+                rejoin_at: 5_000,
+            },
+        )
+        .with_stop_after_deliveries(3 * 7);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    for i in 0..3u64 {
+        sim.inject(Injection {
+            at: i * 2_000,
+            server: (i as usize) % 5,
+            label: Label::new(i),
+            request: BrbRequest::Broadcast(i),
+        });
+    }
+    let outcome = sim.run();
+    assert_eq!(outcome.deliveries.len(), 21, "all instances everywhere");
+    for index in outcome.correct_servers() {
+        assert!(outcome.shim(index).dag().check_invariants());
+    }
+}
