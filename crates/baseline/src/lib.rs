@@ -237,8 +237,8 @@ where
             }
             match event {
                 Event::Inject(injection) => {
-                    let outgoing =
-                        self.servers[injection.server].on_request(injection.label, injection.request);
+                    let outgoing = self.servers[injection.server]
+                        .on_request(injection.label, injection.request);
                     self.route(injection.server, outgoing, now);
                     self.collect(injection.server, now);
                 }
@@ -413,7 +413,11 @@ mod tests {
                 request: BrbRequest::Broadcast(1),
             });
             let outcome = sim.run();
-            (outcome.net.messages_sent, outcome.net.bytes_sent, outcome.finished_at)
+            (
+                outcome.net.messages_sent,
+                outcome.net.bytes_sent,
+                outcome.finished_at,
+            )
         };
         assert_eq!(run(), run());
     }

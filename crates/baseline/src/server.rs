@@ -2,9 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use dagbft_codec::{
-    decode_from_slice, encode_to_vec, DecodeError, Reader, WireDecode, WireEncode,
-};
+use dagbft_codec::{decode_from_slice, encode_to_vec, DecodeError, Reader, WireDecode, WireEncode};
 use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
 use dagbft_crypto::{KeyRegistry, ServerId, Signature, Signer, Verifier};
 
@@ -247,10 +245,7 @@ mod tests {
         let outgoing = alice.on_request(Label::new(1), BrbRequest::Broadcast(5));
         assert_eq!(outgoing.len(), 4);
         // Bob accepts the one addressed to him.
-        let to_bob = outgoing
-            .iter()
-            .find(|m| m.to == ServerId::new(1))
-            .unwrap();
+        let to_bob = outgoing.iter().find(|m| m.to == ServerId::new(1)).unwrap();
         let bytes = encode_to_vec(&to_bob.signed);
         let followups = bob.on_wire_message(ServerId::new(0), &bytes);
         // Bob's first ECHO triggers his own echo broadcast.

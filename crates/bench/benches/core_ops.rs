@@ -34,8 +34,14 @@ fn sample_block(preds: usize, requests: usize) -> (KeyRegistry, Block) {
     // Fabricate pred refs from content hashes (structure-only benchmark).
     let pred_refs: Vec<BlockRef> = (0..preds)
         .map(|i| {
-            Block::build(ServerId::new(0), SeqNum::new(i as u64), vec![], vec![], &signer)
-                .block_ref()
+            Block::build(
+                ServerId::new(0),
+                SeqNum::new(i as u64),
+                vec![],
+                vec![],
+                &signer,
+            )
+            .block_ref()
         })
         .collect();
     let rs: Vec<LabeledRequest> = (0..requests)

@@ -36,9 +36,7 @@ fn bench_out_of_order_promotion(c: &mut Criterion) {
         registry.signer(ServerId::new(1)).unwrap(),
         registry.verifier(),
     );
-    let chain: Vec<_> = (0..200)
-        .map(|t| builder.disseminate(vec![], t).0)
-        .collect();
+    let chain: Vec<_> = (0..200).map(|t| builder.disseminate(vec![], t).0).collect();
 
     let mut group = c.benchmark_group("gossip/out_of_order_chain");
     group.sample_size(10);

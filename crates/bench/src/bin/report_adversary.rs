@@ -20,7 +20,14 @@ fn main() {
 
     // Clean reference: all four servers correct.
     let clean = run_dag_brb(n, instances, NetworkModel::default(), 50);
-    print_row("clean", &clean.deliveries, clean.finished_at, clean.net.messages_sent, clean.net.fwd_sent, mean_latency(&clean));
+    print_row(
+        "clean",
+        &clean.deliveries,
+        clean.finished_at,
+        clean.net.messages_sent,
+        clean.net.fwd_sent,
+        mean_latency(&clean),
+    );
 
     for (name, role) in [
         ("silent", Role::Silent),

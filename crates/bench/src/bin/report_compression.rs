@@ -13,7 +13,16 @@ fn main() {
     println!("# E5/E6 — wire + signature cost per delivered broadcast (1 instance)\n");
     println!(
         "| {:>3} | {:>9} | {:>10} | {:>6} | {:>7} | {:>9} | {:>10} | {:>6} | {:>7} | {:>9} |",
-        "n", "dag msgs", "dag bytes", "sigs", "verifs", "dir msgs", "dir bytes", "sigs", "verifs", "sig ratio"
+        "n",
+        "dag msgs",
+        "dag bytes",
+        "sigs",
+        "verifs",
+        "dir msgs",
+        "dir bytes",
+        "sigs",
+        "verifs",
+        "sig ratio"
     );
     println!("|{}|", "-".repeat(103));
     for n in [4usize, 7, 10, 13, 16] {

@@ -13,10 +13,7 @@ fn main() {
     let n = 4;
     let network = NetworkModel::reliable_constant(10);
 
-    let direct = direct_costs(
-        &run_direct_brb(n, 1, network.clone()),
-        &brb_labels(1),
-    );
+    let direct = direct_costs(&run_direct_brb(n, 1, network.clone()), &brb_labels(1));
 
     println!("# E9 — delivery latency (ms, simulated; network latency = 10 ms const)\n");
     println!(

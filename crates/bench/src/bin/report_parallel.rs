@@ -28,8 +28,10 @@ fn main() {
                     &run_dag_brb(n, *instances, NetworkModel::default(), 50),
                     &labels,
                 );
-                let direct =
-                    direct_costs(&run_direct_brb(n, *instances, NetworkModel::default()), &labels);
+                let direct = direct_costs(
+                    &run_direct_brb(n, *instances, NetworkModel::default()),
+                    &labels,
+                );
                 (dag, direct)
             }));
         }

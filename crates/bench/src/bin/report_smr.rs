@@ -58,7 +58,15 @@ fn main() {
     println!("# E11 — PBFT-lite SMR over the block DAG (n = 4)\n");
     println!(
         "| {:>9} | {:>7} | {:>6} | {:>8} | {:>9} | {:>9} | {:>10} | {:>6} | {:>13} |",
-        "proposals", "leaders", "silent", "commits", "time (ms)", "wire msgs", "wire bytes", "sigs", "commits/s(sim)"
+        "proposals",
+        "leaders",
+        "silent",
+        "commits",
+        "time (ms)",
+        "wire msgs",
+        "wire bytes",
+        "sigs",
+        "commits/s(sim)"
     );
     println!("|{}|", "-".repeat(100));
     for (proposals, leaders, silent) in [

@@ -62,9 +62,15 @@ impl EquivocationProof {
         // Canonical order makes proofs comparable and their encodings
         // deterministic regardless of discovery order.
         if a.block_ref() < b.block_ref() {
-            Some(EquivocationProof { first: a, second: b })
+            Some(EquivocationProof {
+                first: a,
+                second: b,
+            })
         } else {
-            Some(EquivocationProof { first: b, second: a })
+            Some(EquivocationProof {
+                first: b,
+                second: a,
+            })
         }
     }
 

@@ -607,9 +607,8 @@ mod tests {
             vec![],
             &signer0,
         );
-        let meta = |r: &BlockRef| {
-            (*r == genesis.block_ref()).then(|| (genesis.builder(), genesis.seq()))
-        };
+        let meta =
+            |r: &BlockRef| (*r == genesis.block_ref()).then(|| (genesis.builder(), genesis.seq()));
         assert_eq!(child.parent_via(meta).unwrap(), Some(genesis.block_ref()));
     }
 

@@ -505,7 +505,10 @@ mod tests {
     fn chains_and_height() {
         let (dag, _b1, _b2, b3) = figure_2();
         assert_eq!(dag.height_of(b3.builder()), Some(SeqNum::new(1)));
-        assert_eq!(dag.blocks_at(b3.builder(), SeqNum::new(1)), &[b3.block_ref()]);
+        assert_eq!(
+            dag.blocks_at(b3.builder(), SeqNum::new(1)),
+            &[b3.block_ref()]
+        );
         assert_eq!(dag.height_of(ServerId::new(9)), None);
         assert!(dag.blocks_at(ServerId::new(9), SeqNum::ZERO).is_empty());
     }

@@ -161,7 +161,10 @@ impl<V: Ord + Clone> DiGraph<V> {
     pub fn union(&self, other: &Self) -> Self {
         let mut successors = self.successors.clone();
         for (v, outs) in &other.successors {
-            successors.entry(v.clone()).or_default().extend(outs.iter().cloned());
+            successors
+                .entry(v.clone())
+                .or_default()
+                .extend(outs.iter().cloned());
         }
         DiGraph { successors }
     }

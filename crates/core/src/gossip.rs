@@ -19,7 +19,7 @@
 //! event loop) to execute. Time is passed in explicitly and is only used to
 //! pace `FWD` retransmissions (the paper's timer `Δ_B'`).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dagbft_codec::{encode_to_vec, DecodeError, Reader, WireDecode, WireEncode};
 use dagbft_crypto::{ServerId, Signer, Verifier};
@@ -180,7 +180,7 @@ pub struct Gossip {
     /// here, line 18 re-initializes with the parent reference).
     current_preds: Vec<BlockRef>,
     /// The `blks` buffer of received, not-yet-valid blocks (line 3).
-    pending: HashMap<BlockRef, Block>,
+    pending: BTreeMap<BlockRef, Block>,
     /// Missing predecessor → forward-request state.
     missing: BTreeMap<BlockRef, FwdState>,
     /// Blocks rejected as permanently invalid, with the reason — kept for
@@ -211,7 +211,7 @@ impl Gossip {
             dag: BlockDag::new(),
             next_seq: SeqNum::ZERO,
             current_preds: Vec::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             missing: BTreeMap::new(),
             rejected: Vec::new(),
             stats: GossipStats::default(),
@@ -274,7 +274,7 @@ impl Gossip {
             dag,
             next_seq,
             current_preds,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             missing: BTreeMap::new(),
             rejected: Vec::new(),
             stats: GossipStats::default(),
@@ -391,6 +391,11 @@ impl Gossip {
     /// Fixed-point promotion of pending blocks (lines 6–9): any buffered
     /// block whose predecessors are all in the DAG is validated; valid
     /// blocks are inserted and referenced from the current block.
+    ///
+    /// `pending` is an ordered map so the promotion order — and with it
+    /// the pred-list order of the block under construction, which is
+    /// hashed and signed — is a pure function of the received blocks,
+    /// keeping whole-simulation runs bit-for-bit reproducible.
     fn promote_pending(&mut self) {
         loop {
             let candidate = self.pending.iter().find_map(|(r, block)| {
@@ -728,8 +733,7 @@ mod tests {
         ] {
             let bytes = encode_to_vec(&message);
             assert_eq!(bytes.len(), message.wire_len());
-            let decoded: NetMessage =
-                dagbft_codec::decode_from_slice(&bytes).unwrap();
+            let decoded: NetMessage = dagbft_codec::decode_from_slice(&bytes).unwrap();
             assert_eq!(decoded, message);
         }
     }

@@ -72,7 +72,11 @@ impl fmt::Display for InterpretError {
         match self {
             InterpretError::UnknownBlock { block } => write!(f, "unknown block {block}"),
             InterpretError::NotEligible { pending } => {
-                write!(f, "block not eligible: {} preds uninterpreted", pending.len())
+                write!(
+                    f,
+                    "block not eligible: {} preds uninterpreted",
+                    pending.len()
+                )
             }
             InterpretError::AlreadyInterpreted { block } => {
                 write!(f, "block {block} already interpreted")
@@ -239,11 +243,7 @@ impl<P: DeterministicProtocol> Interpreter<P> {
     pub fn eligible(&self, dag: &BlockDag) -> Vec<BlockRef> {
         dag.refs()
             .filter(|r| !self.is_interpreted(r))
-            .filter(|r| {
-                dag.preds_of(r)
-                    .iter()
-                    .all(|p| self.is_interpreted(p))
-            })
+            .filter(|r| dag.preds_of(r).iter().all(|p| self.is_interpreted(p)))
             .copied()
             .collect()
     }
@@ -321,9 +321,9 @@ impl<P: DeterministicProtocol> Interpreter<P> {
         dag: &BlockDag,
         block_ref: &BlockRef,
     ) -> Result<(), InterpretError> {
-        let block = dag.get(block_ref).ok_or(InterpretError::UnknownBlock {
-            block: *block_ref,
-        })?;
+        let block = dag
+            .get(block_ref)
+            .ok_or(InterpretError::UnknownBlock { block: *block_ref })?;
         if self.is_interpreted(block_ref) {
             return Err(InterpretError::AlreadyInterpreted { block: *block_ref });
         }
@@ -833,8 +833,14 @@ mod tests {
         interpreter.step(&dag);
 
         let state = interpreter.state(&b1.block_ref()).unwrap();
-        let in1: Vec<_> = state.in_messages(Label::new(1)).map(|e| e.message).collect();
-        let in2: Vec<_> = state.in_messages(Label::new(2)).map(|e| e.message).collect();
+        let in1: Vec<_> = state
+            .in_messages(Label::new(1))
+            .map(|e| e.message)
+            .collect();
+        let in2: Vec<_> = state
+            .in_messages(Label::new(2))
+            .map(|e| e.message)
+            .collect();
         assert_eq!(in1, vec![10]);
         assert_eq!(in2, vec![20]);
 

@@ -75,8 +75,8 @@ pub use error::{DagError, InvalidBlockError};
 pub use gossip::{Gossip, GossipConfig, NetCommand, NetMessage};
 pub use interpret::{Indication, Interpreter};
 pub use label::Label;
-pub use recovery::{persist_dag, restore_dag};
 pub use protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig};
+pub use recovery::{persist_dag, restore_dag};
 pub use shim::{Shim, ShimConfig};
 
 /// Simulation / wall-clock time in milliseconds.

@@ -174,17 +174,13 @@ mod tests {
         let dag = sample_dag();
         let mut bytes = persist_dag(&dag);
         bytes.truncate(bytes.len() - 3);
-        assert!(matches!(
-            restore_dag(&bytes),
-            Err(RestoreError::Corrupt(_))
-        ));
+        assert!(matches!(restore_dag(&bytes), Err(RestoreError::Corrupt(_))));
     }
 
     #[test]
     fn reordered_image_rejected() {
         let dag = sample_dag();
-        let mut image: DagImage =
-            decode_from_slice(&persist_dag(&dag)).unwrap();
+        let mut image: DagImage = decode_from_slice(&persist_dag(&dag)).unwrap();
         image.blocks.reverse(); // child before parents
         let bytes = encode_to_vec(&image);
         assert!(matches!(

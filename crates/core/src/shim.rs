@@ -130,7 +130,11 @@ impl<P: DeterministicProtocol> Shim<P> {
     /// # Errors
     ///
     /// [`SetupError::UnknownServer`] if `registry` has no key for `me`.
-    pub fn new(me: ServerId, config: ShimConfig, registry: &KeyRegistry) -> Result<Self, SetupError> {
+    pub fn new(
+        me: ServerId,
+        config: ShimConfig,
+        registry: &KeyRegistry,
+    ) -> Result<Self, SetupError> {
         let signer = registry
             .signer(me)
             .ok_or(SetupError::UnknownServer { server: me })?;
@@ -208,7 +212,8 @@ impl<P: DeterministicProtocol> Shim<P> {
     /// `request(ℓ, r)`: buffer a user request for instance `ℓ`
     /// (Algorithm 3, lines 6–7).
     pub fn request(&mut self, label: Label, request: P::Request) {
-        self.rqsts.push_back(LabeledRequest::encode(label, &request));
+        self.rqsts
+            .push_back(LabeledRequest::encode(label, &request));
     }
 
     /// Number of buffered requests not yet written into a block.
@@ -322,7 +327,12 @@ mod tests {
 
     /// Executes commands from `origin` against all shims, synchronously, to
     /// quiescence.
-    fn run_commands(shims: &mut [Shim<Flood>], origin: usize, commands: Vec<NetCommand>, now: TimeMs) {
+    fn run_commands(
+        shims: &mut [Shim<Flood>],
+        origin: usize,
+        commands: Vec<NetCommand>,
+        now: TimeMs,
+    ) {
         let mut queue: Vec<(usize, NetCommand)> =
             commands.into_iter().map(|c| (origin, c)).collect();
         while let Some((from, command)) = queue.pop() {
@@ -330,14 +340,18 @@ mod tests {
                 NetCommand::Broadcast { message } => {
                     for target in 0..shims.len() {
                         if target != from {
-                            let follow =
-                                shims[target].on_message(ServerId::new(from as u32), message.clone(), now);
+                            let follow = shims[target].on_message(
+                                ServerId::new(from as u32),
+                                message.clone(),
+                                now,
+                            );
                             queue.extend(follow.into_iter().map(|c| (target, c)));
                         }
                     }
                 }
                 NetCommand::SendTo { to, message } => {
-                    let follow = shims[to.index()].on_message(ServerId::new(from as u32), message, now);
+                    let follow =
+                        shims[to.index()].on_message(ServerId::new(from as u32), message, now);
                     queue.extend(follow.into_iter().map(|c| (to.index(), c)));
                 }
             }
@@ -386,8 +400,7 @@ mod tests {
     #[test]
     fn request_cap_per_block() {
         let registry = KeyRegistry::generate(1, 3);
-        let config =
-            ShimConfig::new(ProtocolConfig::for_n(1)).with_max_requests_per_block(2);
+        let config = ShimConfig::new(ProtocolConfig::for_n(1)).with_max_requests_per_block(2);
         let mut shim: Shim<Flood> = Shim::new(ServerId::new(0), config, &registry).unwrap();
         for value in 0..5 {
             shim.request(Label::new(value), value);
@@ -473,7 +486,9 @@ mod tests {
         let mut recovered: Shim<Flood> =
             Shim::recover(ServerId::new(0), config, &registry, dag).unwrap();
         recovered.disseminate(1);
-        let own_genesis = recovered.dag().blocks_at(recovered.me(), crate::SeqNum::ZERO)[0];
+        let own_genesis = recovered
+            .dag()
+            .blocks_at(recovered.me(), crate::SeqNum::ZERO)[0];
         let block = recovered.dag().get(&own_genesis).unwrap();
         assert!(
             block.preds().contains(&s1_tip),

@@ -69,7 +69,10 @@ mod tests {
     #[test]
     fn all_yields_dense_indices() {
         let ids: Vec<_> = ServerId::all(3).collect();
-        assert_eq!(ids, vec![ServerId::new(0), ServerId::new(1), ServerId::new(2)]);
+        assert_eq!(
+            ids,
+            vec![ServerId::new(0), ServerId::new(1), ServerId::new(2)]
+        );
     }
 
     #[test]

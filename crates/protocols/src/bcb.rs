@@ -20,8 +20,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
-use dagbft_crypto::ServerId;
 use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
+use dagbft_crypto::ServerId;
 
 use crate::value::Value;
 

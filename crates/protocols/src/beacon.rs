@@ -25,8 +25,8 @@
 use std::collections::BTreeMap;
 
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
-use dagbft_crypto::{sha256, ServerId};
 use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
+use dagbft_crypto::{sha256, ServerId};
 
 /// Requests: contribute a locally drawn coin to this beacon round.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]

@@ -24,8 +24,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
-use dagbft_crypto::ServerId;
 use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
+use dagbft_crypto::ServerId;
 
 use crate::value::Value;
 
@@ -194,7 +194,10 @@ impl<V: Value> DeterministicProtocol for Brb<V> {
                 self.maybe_ready(&value, outbox);
             }
             BrbMessage::Ready(value) => {
-                self.readies.entry(value.clone()).or_default().insert(sender);
+                self.readies
+                    .entry(value.clone())
+                    .or_default()
+                    .insert(sender);
                 self.maybe_ready(&value, outbox);
                 self.maybe_deliver(&value);
             }
@@ -246,10 +249,7 @@ mod tests {
             self.pump(queue)
         }
 
-        fn pump(
-            &mut self,
-            mut queue: Vec<(usize, ServerId, BrbMessage<u64>)>,
-        ) -> Vec<Option<u64>> {
+        fn pump(&mut self, mut queue: Vec<(usize, ServerId, BrbMessage<u64>)>) -> Vec<Option<u64>> {
             while let Some((to, from, message)) = queue.pop() {
                 if self.silent.contains(&to) {
                     continue;

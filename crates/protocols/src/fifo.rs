@@ -20,8 +20,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
-use dagbft_crypto::ServerId;
 use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
+use dagbft_crypto::ServerId;
 
 use crate::value::Value;
 
@@ -337,7 +337,7 @@ mod tests {
         net.broadcast(0, 100); // seq 0 — all traffic held
         net.hold = false;
         net.broadcast(0, 101); // seq 1 — completes immediately
-        // seq 1 is staged everywhere, not delivered (cursor at 0).
+                               // seq 1 is staged everywhere, not delivered (cursor at 0).
         for instance in &net.instances {
             assert_eq!(instance.staged_len(), 1);
             assert_eq!(instance.cursor_of(ServerId::new(0)), 0);

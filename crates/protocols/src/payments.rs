@@ -311,7 +311,10 @@ mod tests {
         let err = ledger.apply(&transfer(1, 2, 1, 5)).unwrap_err();
         assert!(matches!(
             err,
-            TransferError::BadSequence { expected: 0, got: 5 }
+            TransferError::BadSequence {
+                expected: 0,
+                got: 5
+            }
         ));
         ledger.apply(&transfer(1, 2, 1, 0)).unwrap();
         // Replaying the same seq fails: double-spend protection.

@@ -9,9 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use dagbft_core::{
-    shim::SetupError, NetCommand, NetMessage, Shim, ShimConfig, TimeMs,
-};
+use dagbft_core::{shim::SetupError, NetCommand, NetMessage, Shim, ShimConfig, TimeMs};
 use dagbft_crypto::{KeyRegistry, ServerId};
 
 use crate::brb::{Brb, BrbIndication, BrbRequest};
@@ -241,10 +239,20 @@ mod tests {
     fn replicas_agree_exactly() {
         let mut nodes = cluster(4);
         nodes[0]
-            .submit(Transfer { from: AccountId(1), to: AccountId(2), amount: 10, seq: 0 })
+            .submit(Transfer {
+                from: AccountId(1),
+                to: AccountId(2),
+                amount: 10,
+                seq: 0,
+            })
             .unwrap();
         nodes[1]
-            .submit(Transfer { from: AccountId(2), to: AccountId(1), amount: 5, seq: 0 })
+            .submit(Transfer {
+                from: AccountId(2),
+                to: AccountId(1),
+                amount: 5,
+                seq: 0,
+            })
             .unwrap();
         rounds(&mut nodes, 5);
         let reference = nodes[0].ledger().clone();

@@ -26,8 +26,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
-use dagbft_crypto::ServerId;
 use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
+use dagbft_crypto::ServerId;
 
 use crate::value::Value;
 
@@ -158,7 +158,10 @@ impl<V: Value> Smr<V> {
 
     /// Number of slots committed (delivered or not).
     pub fn committed_count(&self) -> usize {
-        self.slots.values().filter(|s| s.committed.is_some()).count()
+        self.slots
+            .values()
+            .filter(|s| s.committed.is_some())
+            .count()
     }
 
     fn leader_assign(&mut self, value: V, outbox: &mut Outbox<SmrMessage<V>>) {
@@ -237,7 +240,11 @@ impl<V: Value> DeterministicProtocol for Smr<V> {
             SmrMessage::Prepare(slot, value) => {
                 let quorum = self.config.quorum();
                 let state = self.slots.entry(slot).or_default();
-                state.prepares.entry(value.clone()).or_default().insert(sender);
+                state
+                    .prepares
+                    .entry(value.clone())
+                    .or_default()
+                    .insert(sender);
                 let prepared = state.prepares[&value].len() >= quorum;
                 // Commit only for the value we accepted (the prepare lock):
                 // a correct server never helps commit a value it did not
@@ -251,7 +258,11 @@ impl<V: Value> DeterministicProtocol for Smr<V> {
             SmrMessage::Commit(slot, value) => {
                 let quorum = self.config.quorum();
                 let state = self.slots.entry(slot).or_default();
-                state.commits.entry(value.clone()).or_default().insert(sender);
+                state
+                    .commits
+                    .entry(value.clone())
+                    .or_default()
+                    .insert(sender);
                 if state.committed.is_none() && state.commits[&value].len() >= quorum {
                     state.committed = Some(value);
                     self.try_deliver();
@@ -422,7 +433,10 @@ mod tests {
             .collect();
         // Value 2 gathers prepares from {2, 3} only (s1 is locked on 1):
         // 2 < quorum 3 → no commit anywhere.
-        assert!(committed.is_empty(), "equivocation must not commit: {committed:?}");
+        assert!(
+            committed.is_empty(),
+            "equivocation must not commit: {committed:?}"
+        );
     }
 
     #[test]

@@ -99,8 +99,14 @@ impl<V: WireDecode> WireDecode for SmrMessage<V> {
     fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
         match reader.read_u8()? {
             0 => Ok(SmrMessage::Forward(V::decode(reader)?)),
-            1 => Ok(SmrMessage::PrePrepare(u64::decode(reader)?, V::decode(reader)?)),
-            2 => Ok(SmrMessage::Prepare(u64::decode(reader)?, V::decode(reader)?)),
+            1 => Ok(SmrMessage::PrePrepare(
+                u64::decode(reader)?,
+                V::decode(reader)?,
+            )),
+            2 => Ok(SmrMessage::Prepare(
+                u64::decode(reader)?,
+                V::decode(reader)?,
+            )),
             3 => Ok(SmrMessage::Commit(u64::decode(reader)?, V::decode(reader)?)),
             value => Err(DecodeError::InvalidDiscriminant {
                 type_name: "SmrMessage",

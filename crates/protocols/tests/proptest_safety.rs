@@ -36,11 +36,7 @@ fn byz_actions() -> impl Strategy<Value = Vec<ByzAction>> {
 
 /// Drives 3 correct BRB instances plus one byzantine message oracle
 /// (server 3). `lifo` flips the queue discipline, changing the schedule.
-fn run_brb(
-    broadcast: Option<u64>,
-    actions: Vec<ByzAction>,
-    lifo: bool,
-) -> Vec<Option<u64>> {
+fn run_brb(broadcast: Option<u64>, actions: Vec<ByzAction>, lifo: bool) -> Vec<Option<u64>> {
     let config = ProtocolConfig::for_n(4);
     let mut instances: Vec<Brb<u64>> = (0..3)
         .map(|i| Brb::new(&config, Label::new(1), ServerId::new(i as u32)))

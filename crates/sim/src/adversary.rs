@@ -13,9 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use dagbft_core::{
-    Block, Gossip, GossipConfig, LabeledRequest, NetCommand, NetMessage, TimeMs,
-};
+use dagbft_core::{Block, Gossip, GossipConfig, LabeledRequest, NetCommand, NetMessage, TimeMs};
 use dagbft_crypto::{KeyRegistry, ServerId, Signer};
 
 /// The behaviour of one server in a simulation.
@@ -84,7 +82,12 @@ impl ByzServer {
         assert!(role.is_byzantine(), "ByzServer requires a byzantine role");
         let signer = registry.signer(me).expect("byzantine server has a key");
         ByzServer {
-            gossip: Gossip::new(me, GossipConfig::for_n(n), signer.clone(), registry.verifier()),
+            gossip: Gossip::new(
+                me,
+                GossipConfig::for_n(n),
+                signer.clone(),
+                registry.verifier(),
+            ),
             signer,
             role,
             n,
@@ -219,7 +222,13 @@ mod tests {
         assert!(server.disseminate(0).is_empty());
         // Even FWD answers are suppressed.
         let other = registry.signer(ServerId::new(1)).unwrap();
-        let block = Block::build(ServerId::new(1), dagbft_core::SeqNum::ZERO, vec![], vec![], &other);
+        let block = Block::build(
+            ServerId::new(1),
+            dagbft_core::SeqNum::ZERO,
+            vec![],
+            vec![],
+            &other,
+        );
         let commands = server.on_message(ServerId::new(1), NetMessage::Block(block.clone()), 0);
         assert!(commands.is_empty());
         // But it did validate and store the block.
@@ -229,8 +238,12 @@ mod tests {
     #[test]
     fn equivocator_sends_conflicting_blocks_to_halves() {
         let registry = registry(4);
-        let mut server =
-            ByzServer::new(ServerId::new(0), 4, Role::Equivocate { at_seq: 0 }, &registry);
+        let mut server = ByzServer::new(
+            ServerId::new(0),
+            4,
+            Role::Equivocate { at_seq: 0 },
+            &registry,
+        );
         let sends = server.disseminate(0);
         assert_eq!(sends.len(), 3);
         let blocks: Vec<&Block> = sends
@@ -254,8 +267,12 @@ mod tests {
     #[test]
     fn equivocator_honest_after_fork() {
         let registry = registry(4);
-        let mut server =
-            ByzServer::new(ServerId::new(0), 4, Role::Equivocate { at_seq: 0 }, &registry);
+        let mut server = ByzServer::new(
+            ServerId::new(0),
+            4,
+            Role::Equivocate { at_seq: 0 },
+            &registry,
+        );
         let _fork = server.disseminate(0);
         let after = server.disseminate(10);
         let distinct: BTreeSet<_> = after

@@ -186,9 +186,7 @@ mod tests {
     fn drop_rate_statistics() {
         let net = NetworkModel::default().with_drop_rate(0.5);
         let mut rng = rng();
-        let dropped = (0..10_000)
-            .filter(|_| net.drops(&mut rng, 0, 1, 0))
-            .count();
+        let dropped = (0..10_000).filter(|_| net.drops(&mut rng, 0, 1, 0)).count();
         assert!((4_000..6_000).contains(&dropped), "dropped {dropped}");
     }
 

@@ -11,8 +11,7 @@
 use std::collections::HashMap;
 
 use dagbft_core::{
-    DeterministicProtocol, Label, NetCommand, NetMessage, ProtocolConfig, Shim, ShimConfig,
-    TimeMs,
+    DeterministicProtocol, Label, NetCommand, NetMessage, ProtocolConfig, Shim, ShimConfig, TimeMs,
 };
 use dagbft_crypto::{KeyRegistry, ServerId};
 use rand::rngs::StdRng;
@@ -190,7 +189,10 @@ impl<P: DeterministicProtocol> SimOutcome<P> {
 
     /// Deliveries for one label, in time order.
     pub fn deliveries_for(&self, label: Label) -> Vec<&Delivery<P::Indication>> {
-        self.deliveries.iter().filter(|d| d.label == label).collect()
+        self.deliveries
+            .iter()
+            .filter(|d| d.label == label)
+            .collect()
     }
 
     /// Delivery latencies (per delivery) for one label.
@@ -284,7 +286,11 @@ impl<P: DeterministicProtocol> Simulation<P> {
             queue.schedule(phase, Event::Disseminate { server: index });
             queue.schedule(phase + 1, Event::Tick { server: index });
             if let Some(Role::Restart { rejoin_at, .. }) = config.roles.get(&index) {
-                queue.schedule(*rejoin_at, Event::Rejoin { server: index });
+                // `schedule_first`, like injections: a server rejoining at
+                // `t` must be up before an injection at the same `t`
+                // reaches it (rejoins are enqueued at construction, so
+                // within the class they still precede any injection).
+                queue.schedule_first(*rejoin_at, Event::Rejoin { server: index });
             }
         }
 
@@ -306,7 +312,10 @@ impl<P: DeterministicProtocol> Simulation<P> {
         self.injected_at
             .entry(injection.label)
             .or_insert(injection.at);
-        self.queue.schedule(injection.at, Event::Inject(injection));
+        // `schedule_first`: an injection at time `t` must reach the shim
+        // before a dissemination firing at the same `t` builds its block.
+        self.queue
+            .schedule_first(injection.at, Event::Inject(injection));
     }
 
     /// Schedules many injections.
@@ -424,7 +433,10 @@ impl<P: DeterministicProtocol> Simulation<P> {
                     self.servers[server] = Server::Crashed;
                 }
             }
-            Some(Role::Restart { crash_at, rejoin_at }) => {
+            Some(Role::Restart {
+                crash_at,
+                rejoin_at,
+            }) => {
                 let down_window = now >= *crash_at && now < *rejoin_at;
                 if down_window {
                     if let Server::Correct(shim) = &self.servers[server] {
@@ -459,10 +471,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
         let _replayed = shim.poll_indications();
         self.servers[server] = Server::Correct(shim);
         // Timers died while down; restart them.
-        self.queue
-            .schedule(now, Event::Disseminate { server });
-        self.queue
-            .schedule(now + 1, Event::Tick { server });
+        self.queue.schedule(now, Event::Disseminate { server });
+        self.queue.schedule(now + 1, Event::Tick { server });
     }
 
     fn route_commands(&mut self, origin: usize, commands: Vec<NetCommand>, now: TimeMs) {
@@ -521,12 +531,41 @@ mod tests {
     use super::*;
     use dagbft_protocols::{Brb, BrbIndication, BrbRequest};
 
-    fn broadcast_injection(at: TimeMs, server: usize, label: u64, value: u64) -> Injection<Brb<u64>> {
+    fn broadcast_injection(
+        at: TimeMs,
+        server: usize,
+        label: u64,
+        value: u64,
+    ) -> Injection<Brb<u64>> {
         Injection {
             at,
             server,
             label: Label::new(label),
             request: BrbRequest::Broadcast(value),
+        }
+    }
+
+    #[test]
+    fn injection_at_rejoin_instant_reaches_recovered_server() {
+        // A request injected at exactly `rejoin_at` must land on the
+        // recovered shim, not on the still-down server: the rejoin event
+        // precedes same-instant injections in the queue.
+        let config = SimConfig::new(4)
+            .with_max_time(60_000)
+            .with_role(
+                0,
+                Role::Restart {
+                    crash_at: 100,
+                    rejoin_at: 500,
+                },
+            )
+            .with_stop_after_deliveries(4);
+        let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+        sim.inject(broadcast_injection(500, 0, 1, 9));
+        let outcome = sim.run();
+        assert_eq!(outcome.deliveries.len(), 4, "request survived the rejoin");
+        for delivery in &outcome.deliveries {
+            assert_eq!(delivery.indication, BrbIndication::Deliver(9));
         }
     }
 

@@ -1,9 +1,11 @@
 //! Deterministic discrete-event scheduler.
 //!
-//! A binary heap of timestamped events with a monotonic tiebreaker, so that
-//! two events at the same instant always pop in insertion order — one of
-//! the ingredients (with seeded randomness) that makes every simulation run
-//! bit-for-bit reproducible.
+//! A binary heap of timestamped events ordered by time, then priority
+//! class, then a monotonic tiebreaker: two events at the same instant pop
+//! in class order ([`EventQueue::schedule_first`] before
+//! [`EventQueue::schedule`]) and in insertion order within a class — one
+//! of the ingredients (with seeded randomness) that makes every
+//! simulation run bit-for-bit reproducible.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -14,13 +16,14 @@ use dagbft_core::TimeMs;
 #[derive(Debug, Clone)]
 struct Scheduled<E> {
     time: TimeMs,
+    class: u8,
     seq: u64,
     payload: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.class == other.class && self.seq == other.seq
     }
 }
 
@@ -29,7 +32,7 @@ impl<E> Eq for Scheduled<E> {}
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the earliest event pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        (other.time, other.class, other.seq).cmp(&(self.time, self.class, self.seq))
     }
 }
 
@@ -39,7 +42,8 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 
-/// A deterministic event queue ordered by time, then insertion.
+/// A deterministic event queue ordered by time, then priority class,
+/// then insertion.
 ///
 /// # Examples
 ///
@@ -98,10 +102,31 @@ impl<E> EventQueue<E> {
     /// Events scheduled in the past are delivered at the current clock
     /// instead (time never goes backwards).
     pub fn schedule(&mut self, time: TimeMs, payload: E) {
+        self.schedule_class(time, 1, payload);
+    }
+
+    /// Schedules `payload` at `time`, ahead of every plain
+    /// [`EventQueue::schedule`] entry at the same instant regardless of
+    /// insertion order.
+    ///
+    /// Used for request injections: a request submitted at time `t` must
+    /// be visible to a dissemination firing at the same `t`, even though
+    /// recurring timers are enqueued at construction — otherwise a
+    /// boundary-time injection silently slips a whole interval.
+    pub fn schedule_first(&mut self, time: TimeMs, payload: E) {
+        self.schedule_class(time, 0, payload);
+    }
+
+    fn schedule_class(&mut self, time: TimeMs, class: u8, payload: E) {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, payload });
+        self.heap.push(Scheduled {
+            time,
+            class,
+            seq,
+            payload,
+        });
     }
 
     /// Pops the earliest event, advancing the clock to it.
@@ -150,6 +175,18 @@ mod tests {
         // Scheduling "in the past" clamps to now.
         queue.schedule(50, "past");
         assert_eq!(queue.pop().unwrap(), (100, "past"));
+    }
+
+    #[test]
+    fn schedule_first_wins_same_instant_ties() {
+        let mut queue = EventQueue::new();
+        queue.schedule(10, "timer");
+        queue.schedule_first(10, "injection");
+        queue.schedule(5, "earlier");
+        assert_eq!(queue.pop(), Some((5, "earlier")));
+        // Despite later insertion, the injection precedes the timer.
+        assert_eq!(queue.pop(), Some((10, "injection")));
+        assert_eq!(queue.pop(), Some((10, "timer")));
     }
 
     #[test]

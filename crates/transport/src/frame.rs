@@ -78,7 +78,13 @@ mod tests {
     #[test]
     fn roundtrip_over_buffer() {
         let mut buffer = Vec::new();
-        write_frame(&mut buffer, &Hello { from: ServerId::new(3) }).unwrap();
+        write_frame(
+            &mut buffer,
+            &Hello {
+                from: ServerId::new(3),
+            },
+        )
+        .unwrap();
         write_frame(&mut buffer, &42u64).unwrap();
         let mut cursor = io::Cursor::new(buffer);
         let hello: Hello = read_frame(&mut cursor).unwrap();

@@ -242,11 +242,7 @@ fn sender_loop(
     }
 }
 
-fn connect_with_hello(
-    me: ServerId,
-    peer: SocketAddr,
-    shutdown: &AtomicBool,
-) -> Option<TcpStream> {
+fn connect_with_hello(me: ServerId, peer: SocketAddr, shutdown: &AtomicBool) -> Option<TcpStream> {
     for _ in 0..3 {
         if shutdown.load(Ordering::SeqCst) {
             return None;
@@ -292,8 +288,12 @@ mod tests {
     fn two_endpoints_exchange_messages() {
         // Bind both with placeholder peer tables, then rebind with real
         // addresses: easiest is to bind A first, then B knowing A.
-        let a = TcpTransport::bind(ServerId::new(0), localhost(), vec![localhost(), localhost()])
-            .unwrap();
+        let a = TcpTransport::bind(
+            ServerId::new(0),
+            localhost(),
+            vec![localhost(), localhost()],
+        )
+        .unwrap();
         let b = TcpTransport::bind(
             ServerId::new(1),
             localhost(),
@@ -303,12 +303,8 @@ mod tests {
         // Rebuild A with B's address so A can reply.
         let a_addr = a.local_addr();
         a.shutdown();
-        let a = TcpTransport::bind(
-            ServerId::new(0),
-            a_addr,
-            vec![localhost(), b.local_addr()],
-        )
-        .unwrap();
+        let a = TcpTransport::bind(ServerId::new(0), a_addr, vec![localhost(), b.local_addr()])
+            .unwrap();
 
         let message = sample_message();
         a.send(ServerId::new(1), message.clone());

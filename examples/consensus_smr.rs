@@ -57,7 +57,12 @@ fn main() {
             let SmrIndication::Committed(slot, value) = delivery.indication;
             logs[delivery.server.index()].push((slot, value));
         }
-        println!("  {} (leader s{}): {:?}", label, label_id % n as u64, logs[0]);
+        println!(
+            "  {} (leader s{}): {:?}",
+            label,
+            label_id % n as u64,
+            logs[0]
+        );
         for (server, log) in logs.iter().enumerate().skip(1) {
             assert_eq!(log, &logs[0], "server {server} diverged on {label}");
         }

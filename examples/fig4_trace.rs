@@ -106,10 +106,7 @@ fn main() {
                 block.seq(),
                 render(state.in_messages(label), true)
             );
-            println!(
-                "        out = {}",
-                render(state.out_messages(label), false)
-            );
+            println!("        out = {}", render(state.out_messages(label), false));
         }
     }
 
@@ -126,7 +123,10 @@ fn main() {
 
     let stats = interpreter.stats();
     println!("\n--- the compression claim, quantified ---");
-    println!("blocks in the DAG      : {:>4}  (the only network objects)", dag.len());
+    println!(
+        "blocks in the DAG      : {:>4}  (the only network objects)",
+        dag.len()
+    );
     println!(
         "messages materialized  : {:>4}  (ECHO/READY — zero sent on the wire)",
         stats.messages_materialized

@@ -18,11 +18,36 @@ fn main() {
     // The transfer workload: a small payment graph with chained funds
     // (acct2 spends money that arrives from acct1, etc.).
     let transfers = vec![
-        Transfer { from: AccountId(1), to: AccountId(2), amount: 50, seq: 0 },
-        Transfer { from: AccountId(1), to: AccountId(3), amount: 20, seq: 1 },
-        Transfer { from: AccountId(2), to: AccountId(3), amount: 30, seq: 0 },
-        Transfer { from: AccountId(3), to: AccountId(4), amount: 45, seq: 0 },
-        Transfer { from: AccountId(4), to: AccountId(1), amount: 5, seq: 0 },
+        Transfer {
+            from: AccountId(1),
+            to: AccountId(2),
+            amount: 50,
+            seq: 0,
+        },
+        Transfer {
+            from: AccountId(1),
+            to: AccountId(3),
+            amount: 20,
+            seq: 1,
+        },
+        Transfer {
+            from: AccountId(2),
+            to: AccountId(3),
+            amount: 30,
+            seq: 0,
+        },
+        Transfer {
+            from: AccountId(3),
+            to: AccountId(4),
+            amount: 45,
+            seq: 0,
+        },
+        Transfer {
+            from: AccountId(4),
+            to: AccountId(1),
+            amount: 5,
+            seq: 0,
+        },
     ];
     let expected = transfers.len() * n; // every server delivers every transfer
 
@@ -71,7 +96,10 @@ fn main() {
                 t.clone()
             });
         let leftover = ledger.settle(delivered);
-        assert!(leftover.is_empty(), "server {server} could not settle: {leftover:?}");
+        assert!(
+            leftover.is_empty(),
+            "server {server} could not settle: {leftover:?}"
+        );
     }
 
     println!("--- settled balances (per server replica) ---");
@@ -95,8 +123,10 @@ fn main() {
     assert_eq!(reference.total_supply(), 110, "supply conserved");
 
     println!("\n--- cost profile ---");
-    println!("wire messages : {:>6} (blocks: {}, FWD: {})",
-        outcome.net.messages_sent, outcome.net.blocks_sent, outcome.net.fwd_sent);
+    println!(
+        "wire messages : {:>6} (blocks: {}, FWD: {})",
+        outcome.net.messages_sent, outcome.net.blocks_sent, outcome.net.fwd_sent
+    );
     println!("wire bytes    : {:>6}", outcome.net.bytes_sent);
     println!("signatures    : {:>6}", outcome.signatures);
     println!("\nOK: all replicas settled to identical balances; supply conserved.");

@@ -10,10 +10,30 @@ use dagbft::protocols::Transfer;
 fn payments_replicas_converge() {
     let n = 4;
     let transfers = vec![
-        Transfer { from: AccountId(1), to: AccountId(2), amount: 40, seq: 0 },
-        Transfer { from: AccountId(2), to: AccountId(3), amount: 35, seq: 0 },
-        Transfer { from: AccountId(1), to: AccountId(3), amount: 10, seq: 1 },
-        Transfer { from: AccountId(3), to: AccountId(1), amount: 20, seq: 0 },
+        Transfer {
+            from: AccountId(1),
+            to: AccountId(2),
+            amount: 40,
+            seq: 0,
+        },
+        Transfer {
+            from: AccountId(2),
+            to: AccountId(3),
+            amount: 35,
+            seq: 0,
+        },
+        Transfer {
+            from: AccountId(1),
+            to: AccountId(3),
+            amount: 10,
+            seq: 1,
+        },
+        Transfer {
+            from: AccountId(3),
+            to: AccountId(1),
+            amount: 20,
+            seq: 0,
+        },
     ];
     let expected = transfers.len() * n;
     let config = SimConfig::new(n)
@@ -63,8 +83,18 @@ fn payments_double_spend_rejected_everywhere() {
     // BRB instance for that label delivers at most one of them, and the
     // ledger's sequence rule blocks any replay on a *different* label.
     let n = 4;
-    let legit = Transfer { from: AccountId(1), to: AccountId(2), amount: 60, seq: 0 };
-    let double = Transfer { from: AccountId(1), to: AccountId(3), amount: 60, seq: 0 };
+    let legit = Transfer {
+        from: AccountId(1),
+        to: AccountId(2),
+        amount: 60,
+        seq: 0,
+    };
+    let double = Transfer {
+        from: AccountId(1),
+        to: AccountId(3),
+        amount: 60,
+        seq: 0,
+    };
     assert_eq!(legit.label(), double.label(), "same label: same instance");
 
     let config = SimConfig::new(n)

@@ -42,9 +42,7 @@ fn direct_run(n: usize, values: &[u64]) -> dagbft::baseline::BaselineOutcome<Brb
     sim.run()
 }
 
-fn delivered_set<I: Clone + Ord>(
-    deliveries: &[Delivery<I>],
-) -> BTreeSet<(usize, Label, I)> {
+fn delivered_set<I: Clone + Ord>(deliveries: &[Delivery<I>]) -> BTreeSet<(usize, Label, I)> {
     deliveries
         .iter()
         .map(|d| (d.server.index(), d.label, d.indication.clone()))
@@ -114,11 +112,7 @@ fn latency_crossover_shape_e9() {
     let values = [5];
     let dag = dag_run(n, &values);
     let direct = direct_run(n, &values);
-    let dag_max = dag
-        .latencies_for(Label::new(0))
-        .into_iter()
-        .max()
-        .unwrap();
+    let dag_max = dag.latencies_for(Label::new(0)).into_iter().max().unwrap();
     let direct_max = direct
         .latencies_for(Label::new(0))
         .into_iter()

@@ -215,7 +215,11 @@ fn smr_byzantine_leader_halts_safely() {
     });
     let outcome = sim.run();
     for delivery in &outcome.deliveries {
-        assert_eq!(delivery.label, Label::new(1), "only the correct leader commits");
+        assert_eq!(
+            delivery.label,
+            Label::new(1),
+            "only the correct leader commits"
+        );
         assert_eq!(delivery.indication, SmrIndication::Committed(0, 222));
     }
     assert_eq!(outcome.deliveries.len(), 3);

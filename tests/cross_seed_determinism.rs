@@ -1,0 +1,92 @@
+//! Cross-seed determinism smoke test: the seeded discrete-event
+//! scheduler's core promise is that a `(SimConfig, injections)` pair
+//! fully determines the outcome. For several seeds, run the same
+//! `theorem_5_1`-style BRB workload twice and assert the outcomes are
+//! byte-identical — deliveries, wire metrics, crypto counters, and the
+//! final clock all included.
+
+use dagbft::prelude::*;
+
+/// Runs one BRB workload (three broadcasts across servers, lossy
+/// network) and fingerprints everything observable about the outcome.
+fn run_fingerprint(seed: u64) -> Vec<u8> {
+    let n = 4;
+    let values = [7u64, 1000 + seed, 13];
+    let expected = values.len() * n;
+    let config = SimConfig::new(n)
+        .with_seed(seed)
+        .with_max_time(120_000)
+        .with_network(NetworkModel::default().with_drop_rate(0.05))
+        .with_stop_after_deliveries(expected);
+    let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+    for (i, value) in values.iter().enumerate() {
+        sim.inject(Injection {
+            at: 17 * i as u64,
+            server: i % n,
+            label: Label::new(i as u64),
+            request: BrbRequest::Broadcast(*value),
+        });
+    }
+    let outcome = sim.run();
+    assert_eq!(outcome.deliveries.len(), expected, "seed {seed} delivered");
+
+    let mut fingerprint = Vec::new();
+    for delivery in &outcome.deliveries {
+        fingerprint.extend_from_slice(
+            format!(
+                "d:{}:{}:{}:{:?}\n",
+                delivery.at, delivery.server, delivery.label, delivery.indication
+            )
+            .as_bytes(),
+        );
+    }
+    fingerprint.extend_from_slice(
+        format!(
+            "net:{}:{}:{}:{}\n",
+            outcome.net.messages_sent,
+            outcome.net.blocks_sent,
+            outcome.net.fwd_sent,
+            outcome.net.bytes_sent
+        )
+        .as_bytes(),
+    );
+    fingerprint.extend_from_slice(
+        format!(
+            "crypto:{}:{} clock:{}\n",
+            outcome.signatures, outcome.verifications, outcome.finished_at
+        )
+        .as_bytes(),
+    );
+    // The DAGs themselves must agree too: canonical per-server encoding
+    // of every block each correct server holds.
+    for server in outcome.correct_servers() {
+        if let Some(dag) = outcome.dag(server) {
+            let mut refs: Vec<_> = dag.refs().copied().collect();
+            refs.sort();
+            fingerprint.extend_from_slice(format!("dag:{server}:{}\n", refs.len()).as_bytes());
+            for r in refs {
+                fingerprint.extend_from_slice(r.to_string().as_bytes());
+                fingerprint.push(b'\n');
+            }
+        }
+    }
+    fingerprint
+}
+
+#[test]
+fn same_seed_twice_is_byte_identical() {
+    for seed in [0, 1, 7, 42, 1337] {
+        let first = run_fingerprint(seed);
+        let second = run_fingerprint(seed);
+        assert_eq!(first, second, "seed {seed} not reproducible");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_schedules() {
+    // Not a protocol requirement, but if every seed produced identical
+    // wire traffic the seeding would plainly be inert — guard the knob.
+    let a = run_fingerprint(2);
+    let b = run_fingerprint(3);
+    assert_ne!(a, b, "seeds 2 and 3 produced identical outcomes");
+}

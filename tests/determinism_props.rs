@@ -87,14 +87,9 @@ struct DagSpec {
 fn dag_spec() -> impl Strategy<Value = DagSpec> {
     (2usize..5)
         .prop_flat_map(|n| {
-            let round = proptest::collection::vec(
-                (any::<bool>(), proptest::option::of(0u64..100)),
-                n..=n,
-            );
-            (
-                Just(n),
-                proptest::collection::vec(round, 1..5),
-            )
+            let round =
+                proptest::collection::vec((any::<bool>(), proptest::option::of(0u64..100)), n..=n);
+            (Just(n), proptest::collection::vec(round, 1..5))
         })
         .prop_map(|(n, rounds)| DagSpec { n, rounds })
 }

@@ -104,7 +104,10 @@ fn fig3_successors_of_equivocating_blocks_stay_split() {
     );
     let result = joiner.parent_via(|r| dag.meta(r));
     assert!(
-        matches!(result, Err(dagbft::dag::InvalidBlockError::MultipleParents { .. })),
+        matches!(
+            result,
+            Err(dagbft::dag::InvalidBlockError::MultipleParents { .. })
+        ),
         "joining split chains must be invalid"
     );
 }

@@ -1,0 +1,307 @@
+//! Offline shim for the `criterion` crate: real timing loops, mean
+//! iteration times on stdout, no statistical analysis or reports.
+//! Covers exactly the surface this workspace uses; see
+//! `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a value or the work producing it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name, a
+/// parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` at parameter value `parameter`.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark distinguished only by its parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(function), Some(parameter)) => write!(f, "{function}/{parameter}"),
+            (Some(function), None) => write!(f, "{function}"),
+            (None, Some(parameter)) => write!(f, "{parameter}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark (recorded, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (advisory here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per setup.
+    SmallInput,
+    /// Large inputs: fewer per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the target measurement budget (advisory in this shim).
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&label, samples, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&label, samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: samples.max(1) as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+    match tp {
+        Some(Throughput::Bytes(bytes)) => {
+            eprintln!("bench {label}: {per_iter} ns/iter ({bytes} bytes/iter)");
+        }
+        Some(Throughput::Elements(elements)) => {
+            eprintln!("bench {label}: {per_iter} ns/iter ({elements} elements/iter)");
+        }
+        None => eprintln!("bench {label}: {per_iter} ns/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions, with or without a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench harness `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_every_shape() {
+        let mut criterion = Criterion::default().sample_size(3);
+        sample_bench(&mut criterion);
+    }
+
+    criterion_group!(benches, sample_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench,
+    }
+
+    #[test]
+    fn group_macros_compile_and_run() {
+        benches();
+        configured();
+    }
+}

@@ -1,0 +1,327 @@
+//! Unbounded MPMC channels with `try_recv` / `recv_timeout` and a
+//! polling [`select!`] macro.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub use crate::select;
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of a channel. Clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Clonable (MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; the
+/// unsent value is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl<T> Sender<T> {
+    /// Queues `value`; fails only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are gone.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the channel is empty and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = state.items.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.ready.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when additionally all senders are
+    /// gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        if let Some(value) = state.items.pop_front() {
+            Ok(value)
+        } else if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] on deadline,
+    /// [`RecvTimeoutError::Disconnected`] when the channel is empty and
+    /// all senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = state.items.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (next, timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .expect("channel poisoned");
+            state = next;
+            if timed_out.timed_out() && state.items.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .receivers -= 1;
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Waits on several receivers at once, with a `default(duration)` arm.
+///
+/// Polling implementation (1 ms tick): each arm's channel is tried in
+/// order; a ready or disconnected channel fires its arm with a
+/// `Result<T, RecvError>`; if none fires before the default arm's
+/// duration elapses, the default arm runs.
+#[macro_export]
+macro_rules! select {
+    (
+        $( recv($rx:expr) -> $res:pat => $body:block )+
+        default($timeout:expr) => $default_body:block
+    ) => {{
+        let __select_deadline = ::std::time::Instant::now() + $timeout;
+        loop {
+            $(
+                match $rx.try_recv() {
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                    other => {
+                        let $res = other.map_err(|_| $crate::channel::RecvError);
+                        $body
+                        #[allow(unreachable_code)]
+                        break;
+                    }
+                }
+            )+
+            if ::std::time::Instant::now() >= __select_deadline {
+                $default_body
+                #[allow(unreachable_code)]
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_millis(1));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_propagates() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn select_fires_ready_arm_and_default() {
+        let (tx, rx) = unbounded();
+        let (_tx2, rx2) = unbounded::<u8>();
+        tx.send(7u32).unwrap();
+        let mut got = None;
+        select! {
+            recv(rx) -> msg => { got = msg.ok(); }
+            recv(rx2) -> _ => {}
+            default(Duration::from_millis(5)) => {}
+        };
+        assert_eq!(got, Some(7));
+
+        let mut hit_default = false;
+        select! {
+            recv(rx) -> _msg => {}
+            recv(rx2) -> _ => {}
+            default(Duration::from_millis(5)) => { hit_default = true; }
+        };
+        assert!(hit_default);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline shim for the `crossbeam` crate: MPMC channels with a polling
+//! `select!`, and scoped threads over `std::thread::scope`. Covers
+//! exactly the surface this workspace uses; see `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod thread;

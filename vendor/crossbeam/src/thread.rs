@@ -1,0 +1,85 @@
+//! Scoped threads with the crossbeam API shape, backed by
+//! `std::thread::scope`.
+
+use std::any::Any;
+
+/// A scope handle; spawn closures receive a reference to it (crossbeam
+/// convention), allowing nested spawns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` if it
+    /// panicked).
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to `'env`; the closure receives the scope
+    /// for nested spawning.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// spawned threads are joined before this returns.
+///
+/// # Errors
+///
+/// Unlike `std::thread::scope`, returns `Err` in the crossbeam style
+/// only if `f` itself cannot complete; child panics surface through
+/// each handle's `join` (or propagate if unjoined).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(scope.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let result = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(result, 42);
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline shim for the `proptest` crate: strategy-driven randomized
+//! property testing without shrinking. On failure the case number and
+//! the generated input are printed. Covers exactly the surface this
+//! workspace uses; see `vendor/README.md`.
+//!
+//! Case counts: 256 by default, `ProptestConfig::with_cases` per suite,
+//! and the `PROPTEST_CASES` environment variable overriding everything.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property; failure reports the generated
+/// input alongside the panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Chooses uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies: `name in strategy` or `name: Type` (shorthand for
+/// `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // Entry with a config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@top ($config) $($rest)*);
+    };
+    // Munch one test fn at a time.
+    (@top ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@parse ($config) ($(#[$meta])*) $name [] [] ($($args)*) $body);
+        $crate::proptest!(@top ($config) $($rest)*);
+    };
+    (@top ($config:expr)) => {};
+    // Argument munchers: `name in strategy` form.
+    (@parse ($config:expr) ($(#[$meta:meta])*) $name:ident
+        [$($pats:pat,)*] [$($strats:expr,)*]
+        ($arg:ident in $strat:expr, $($rest:tt)*) $body:block
+    ) => {
+        $crate::proptest!(@parse ($config) ($(#[$meta])*) $name
+            [$($pats,)* $arg,] [$($strats,)* $strat,] ($($rest)*) $body);
+    };
+    (@parse ($config:expr) ($(#[$meta:meta])*) $name:ident
+        [$($pats:pat,)*] [$($strats:expr,)*]
+        ($arg:ident in $strat:expr) $body:block
+    ) => {
+        $crate::proptest!(@parse ($config) ($(#[$meta])*) $name
+            [$($pats,)* $arg,] [$($strats,)* $strat,] () $body);
+    };
+    // Argument munchers: `name: Type` shorthand.
+    (@parse ($config:expr) ($(#[$meta:meta])*) $name:ident
+        [$($pats:pat,)*] [$($strats:expr,)*]
+        ($arg:ident : $ty:ty, $($rest:tt)*) $body:block
+    ) => {
+        $crate::proptest!(@parse ($config) ($(#[$meta])*) $name
+            [$($pats,)* $arg,] [$($strats,)* $crate::arbitrary::any::<$ty>(),]
+            ($($rest)*) $body);
+    };
+    (@parse ($config:expr) ($(#[$meta:meta])*) $name:ident
+        [$($pats:pat,)*] [$($strats:expr,)*]
+        ($arg:ident : $ty:ty) $body:block
+    ) => {
+        $crate::proptest!(@parse ($config) ($(#[$meta])*) $name
+            [$($pats,)* $arg,] [$($strats,)* $crate::arbitrary::any::<$ty>(),]
+            () $body);
+    };
+    // All arguments consumed: emit the test.
+    (@parse ($config:expr) ($(#[$meta:meta])*) $name:ident
+        [$($pats:pat,)*] [$($strats:expr,)*] () $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strats,)*);
+            $crate::test_runner::run_cases(&config, &strategy, |($($pats,)*)| $body);
+        }
+    };
+    // Entry without a config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@top ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

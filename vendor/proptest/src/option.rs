@@ -1,0 +1,48 @@
+//! `option::of` — wraps a strategy's values in `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some` of the inner strategy three times out of four, else
+/// `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(0.75) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn generates_both_variants() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let s = super::of(0u8..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match crate::strategy::Strategy::new_value(&s, &mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+}

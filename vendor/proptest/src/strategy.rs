@@ -1,0 +1,334 @@
+//! The [`Strategy`] trait, combinators, and strategy implementations
+//! for ranges, tuples, and regex-literal strings.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type. No shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `func`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, func }
+    }
+
+    /// Builds a second strategy from each generated value and draws
+    /// from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, func: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, func }
+    }
+
+    /// Retries generation until `predicate` accepts a value (up to an
+    /// internal attempt cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        predicate: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            predicate,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.func)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.source.new_value(rng);
+            if (self.predicate)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds the union; `options` must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_range(self.start as u64, self.end as u64 - 1) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.in_range(*self.start() as u64, *self.end() as u64) as $ty
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String literals are regex strategies. This shim supports the subset
+/// the workspace uses: `".*"` (any string, length 0..=32) and
+/// `".{m,n}"` (any string, length `m..=n`); anything else panics.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_quantifier(self).unwrap_or_else(|| {
+            panic!(
+                "proptest shim: unsupported regex strategy {self:?} \
+                 (supported: \".*\" and \".{{m,n}}\")"
+            )
+        });
+        let len = rng.in_range(min, max) as usize;
+        random_string(rng, len)
+    }
+}
+
+fn parse_dot_quantifier(pattern: &str) -> Option<(u64, u64)> {
+    let rest = pattern.strip_prefix('.')?;
+    if rest == "*" {
+        return Some((0, 32));
+    }
+    if rest == "+" {
+        return Some((1, 32));
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Mostly printable ASCII with occasional multi-byte characters, so
+/// codecs see both single- and multi-byte UTF-8.
+fn random_string(rng: &mut TestRng, len: usize) -> String {
+    const EXOTIC: [char; 8] = ['é', 'ß', 'λ', '≤', '中', '🦀', '\u{7f}', '\t'];
+    let mut out = String::with_capacity(len);
+    for _ in 0..len {
+        if rng.chance(0.15) {
+            out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+        } else {
+            out.push((rng.in_range(0x20, 0x7e) as u8) as char);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic()
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let v = (3u64..10).new_value(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (5usize..=5).new_value(&mut rng);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = rng();
+        let even = (0u32..100).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(even.new_value(&mut rng) % 2, 0);
+        }
+        let nested = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n..=n));
+        for _ in 0..100 {
+            let v = nested.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let mut rng = rng();
+        let s = Union::new(vec![(0u8..1).boxed(), (10u8..11).boxed()]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.new_value(&mut rng));
+        }
+        assert_eq!(seen, [0u8, 10].into_iter().collect());
+    }
+
+    #[test]
+    fn regex_subset_lengths() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let any = ".*".new_value(&mut rng);
+            assert!(any.chars().count() <= 32);
+            let bounded = ".{2,5}".new_value(&mut rng);
+            let n = bounded.chars().count();
+            assert!((2..=5).contains(&n), "{bounded:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_regex_panics() {
+        "[a-z]+".new_value(&mut rng());
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = rng();
+        let odd = (0u32..100).prop_filter("odd", |v| v % 2 == 1);
+        for _ in 0..100 {
+            assert_eq!(odd.new_value(&mut rng) % 2, 1);
+        }
+    }
+}

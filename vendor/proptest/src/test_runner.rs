@@ -1,0 +1,175 @@
+//! Case configuration, the deterministic test RNG, and the case loop.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+
+/// Per-suite configuration; only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (still overridden by the
+    /// `PROPTEST_CASES` environment variable).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` override.
+    pub fn resolved_cases(&self) -> u32 {
+        env_cases().unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    let raw = std::env::var("PROPTEST_CASES").ok()?;
+    match raw.trim().parse() {
+        Ok(cases) => Some(cases),
+        Err(_) => {
+            eprintln!("proptest: ignoring unparsable PROPTEST_CASES={raw:?}");
+            None
+        }
+    }
+}
+
+/// Deterministic RNG driving value generation (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A fixed-seed RNG: every run generates the same case sequence.
+    pub fn deterministic() -> Self {
+        TestRng::from_seed(0x5eed_cafe_f00d_d00d)
+    }
+
+    /// Expands `seed` into the full state with SplitMix64.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next().max(1)],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `0..bound` (`0` when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `lo..=hi`.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128 * span) >> 64) as u64
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+/// Prints the failing input when the case body panics (runs during
+/// unwind, so it needs no `catch_unwind`).
+struct FailureReport {
+    case: u32,
+    input: Option<String>,
+}
+
+impl Drop for FailureReport {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(input) = &self.input {
+                eprintln!("proptest: case #{} failed with input: {}", self.case, input);
+                eprintln!("proptest: this shim does not shrink; the input above is raw");
+            }
+        }
+    }
+}
+
+/// Runs `body` against `config.resolved_cases()` generated inputs.
+pub fn run_cases<S, F>(config: &ProptestConfig, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: FnMut(S::Value),
+{
+    let cases = config.resolved_cases();
+    let mut rng = TestRng::deterministic();
+    for case in 0..cases {
+        let value = strategy.new_value(&mut rng);
+        let mut report = FailureReport {
+            case,
+            input: Some(format!("{value:?}")),
+        };
+        body(value);
+        report.input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.in_range(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn with_cases_and_default() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(12).cases, 12);
+    }
+}
