@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dagbft_bench::build_offline_dag;
-use dagbft_core::Interpreter;
+use dagbft_core::{Interpreter, ReferenceInterpreter};
 use dagbft_protocols::Brb;
 
 fn bench_interpret_blocks(c: &mut Criterion) {
@@ -79,9 +79,45 @@ fn bench_interpret_server_counts(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_interpret_sharing(c: &mut Criterion) {
+    // Copy-on-write vs the clone-per-block reference transcription, on an
+    // identical DAG: the cost line 4 of Algorithm 2 stops paying.
+    let n = 4;
+    let rounds = 64;
+    let labels = 16;
+    let (dag, config) = build_offline_dag(n, rounds, labels);
+    let mut group = c.benchmark_group("interpret_offline/sharing");
+    group.throughput(Throughput::Elements(dag.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("cow", dag.len()),
+        &(dag.clone(), config),
+        |b, (dag, config)| {
+            b.iter(|| {
+                let mut interpreter: Interpreter<Brb<u64>> = Interpreter::new(*config);
+                interpreter.step(dag);
+                interpreter
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("clone-per-block", dag.len()),
+        &(dag, config),
+        |b, (dag, config)| {
+            b.iter(|| {
+                let mut interpreter: ReferenceInterpreter<Brb<u64>> =
+                    ReferenceInterpreter::new(*config);
+                interpreter.step(dag);
+                interpreter
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_interpret_blocks, bench_interpret_instances, bench_interpret_server_counts
+    targets = bench_interpret_blocks, bench_interpret_instances,
+        bench_interpret_server_counts, bench_interpret_sharing
 }
 criterion_main!(benches);

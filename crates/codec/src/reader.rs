@@ -107,11 +107,10 @@ impl<'a> Reader<'a> {
     /// or [`DecodeError::UnexpectedEof`] if the prefix itself is truncated.
     pub fn read_len(&mut self, min_elem_size: usize) -> Result<usize, DecodeError> {
         let claimed = self.read_u32()? as usize;
-        let feasible = if min_elem_size == 0 {
-            MAX_SEQUENCE_LEN
-        } else {
-            self.remaining() / min_elem_size
-        };
+        let feasible = self
+            .remaining()
+            .checked_div(min_elem_size)
+            .unwrap_or(MAX_SEQUENCE_LEN);
         let max = feasible.min(MAX_SEQUENCE_LEN);
         if claimed > max {
             return Err(DecodeError::LengthOutOfBounds { claimed, max });

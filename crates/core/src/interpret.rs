@@ -19,10 +19,50 @@
 //! reads `G` and `P` is deterministic, every server reaches exactly the
 //! same states (Lemma 4.2), which is what makes the DAG an authenticated
 //! perfect point-to-point link (Lemma 4.3).
+//!
+//! # Copy-on-write state sharing
+//!
+//! Algorithm 2's line 4 says `PIs := B_parent.PIs` — a *copy* of the whole
+//! instance map per block. Taken literally (see [`crate::reference`] for
+//! that transcription), memory and clone cost grow as
+//! O(blocks × active labels × instance size), the unbounded-memory
+//! limitation the paper itself flags in §7. This interpreter instead
+//! shares per-block state structurally:
+//!
+//! * `B.PIs` is an `Arc<BTreeMap<Label, Arc<P>>>`. A block whose
+//!   interpretation touches **no** label (no requests fed, no messages
+//!   delivered) shares the parent's entire map by pointer — O(1).
+//! * A block that touches some labels unshares the *map* once
+//!   (cloning `Label → Arc<P>` entries, i.e. pointer bumps, not instance
+//!   states), then clones only the **touched** instances via
+//!   [`Arc::make_mut`]. Untouched entries keep pointing at the ancestor's
+//!   instance allocation.
+//! * The `active` label set is likewise an `Arc<BTreeSet<Label>>`, seeded
+//!   from the largest predecessor's set and unshared only when the union
+//!   over predecessors (plus this block's own requests) actually adds a
+//!   label.
+//!
+//! A label is therefore *materialized* at a block exactly when Algorithm 2
+//! drives its instance there: a request for it appears in `B.rs`
+//! (lines 5–6) or a predecessor's out-buffer delivers a message to `B.n`
+//! (lines 8–11). Everything else is shared, which
+//! [`Interpreter::footprint`] makes measurable: `instances` counts map
+//! entries across all blocks (what the naive interpreter would store),
+//! `unique_instances` counts distinct instance allocations (what is
+//! actually resident).
+//!
+//! Compaction ([`Interpreter::compact`]) drops the introspection-only
+//! `Ms[in, ·]` buffers. It keeps a watermark into the interpretation
+//! order, so repeated calls only visit blocks interpreted since the last
+//! compaction and return 0 cheaply when there is nothing to drop.
+//! Out-buffers and instance states are never dropped: any future block —
+//! including a byzantine server's — may still reference an old block
+//! directly (§7).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use dagbft_codec::decode_from_slice;
 use dagbft_crypto::ServerId;
@@ -87,29 +127,43 @@ impl fmt::Display for InterpretError {
 
 impl Error for InterpretError {}
 
+/// The copy-on-write instance map `B.PIs`: shared with the parent block by
+/// pointer, unshared entry-wise only for labels touched at this block.
+type SharedInstances<P> = Arc<BTreeMap<Label, Arc<P>>>;
+
 /// Interpretation state attached to one block `B`:
 /// `B.PIs`, `B.Ms[out, ·]`, `B.Ms[in, ·]` in the paper's notation.
+///
+/// `pis` and `active` are structurally shared with ancestor blocks (see
+/// the module docs); `outs`/`ins` are per-block by nature — they hold only
+/// what was produced or delivered *at* this block.
 #[derive(Debug, Clone)]
 pub struct BlockState<P: DeterministicProtocol> {
     /// `B.PIs[ℓ]`: the state of process instance `ℓ` of server `B.n`,
     /// *after* interpreting `B`. Instances are created lazily on first
     /// request or message (the implementation refinement the paper notes
-    /// in §4).
-    pis: BTreeMap<Label, P>,
+    /// in §4), and shared with the parent block unless touched here.
+    pis: SharedInstances<P>,
     /// `B.Ms[out, ℓ]`: messages sent by `B.n`'s instance at this block.
     outs: BTreeMap<Label, BTreeSet<Envelope<P::Message>>>,
     /// `B.Ms[in, ℓ]`: messages delivered to `B.n`'s instance at this block.
     ins: BTreeMap<Label, BTreeSet<Envelope<P::Message>>>,
     /// Labels with a request at this block or any ancestor — the set the
-    /// in-collection of line 7 ranges over (for descendants).
-    active: BTreeSet<Label>,
+    /// in-collection of line 7 ranges over (for descendants). Shared with
+    /// the largest predecessor's set when the union adds nothing.
+    active: Arc<BTreeSet<Label>>,
 }
 
 impl<P: DeterministicProtocol> BlockState<P> {
     /// The simulated instance of `label` for the block's builder, if it has
     /// been started.
     pub fn instance(&self, label: Label) -> Option<&P> {
-        self.pis.get(&label)
+        self.pis.get(&label).map(Arc::as_ref)
+    }
+
+    /// Labels with a started instance at this block.
+    pub fn instance_labels(&self) -> impl Iterator<Item = &Label> {
+        self.pis.keys()
     }
 
     /// Out-going messages `B.Ms[out, ℓ]` produced at this block.
@@ -131,6 +185,23 @@ impl<P: DeterministicProtocol> BlockState<P> {
     pub fn out_labels(&self) -> impl Iterator<Item = &Label> {
         self.outs.keys()
     }
+
+    /// Whether this state shares its *entire* instance map with `other`
+    /// (i.e. no label was touched between the two blocks). Observability
+    /// hook for the sharing claims; `true` implies every
+    /// [`BlockState::instance`] of the two states is pointer-identical.
+    pub fn shares_instances_with(&self, other: &BlockState<P>) -> bool {
+        Arc::ptr_eq(&self.pis, &other.pis)
+    }
+
+    /// Whether `label`'s instance is the same allocation in both states
+    /// (shared untouched along the parent chain).
+    pub fn shares_instance_with(&self, other: &BlockState<P>, label: Label) -> bool {
+        match (self.pis.get(&label), other.pis.get(&label)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 /// Approximate memory footprint of an interpreter (see
@@ -139,12 +210,42 @@ impl<P: DeterministicProtocol> BlockState<P> {
 pub struct InterpreterFootprint {
     /// Interpreted blocks with stored state.
     pub blocks: usize,
-    /// Protocol instances held across all block states.
+    /// Protocol-instance map entries summed across all block states — what
+    /// a clone-per-block interpreter would hold as full instance copies.
     pub instances: usize,
+    /// Distinct instance allocations actually resident. Structural sharing
+    /// makes this ≪ `instances` on long DAGs: only blocks that *touch* a
+    /// label clone its instance.
+    pub unique_instances: usize,
     /// Envelopes in out-buffers.
     pub out_envelopes: usize,
     /// Envelopes in in-buffers (droppable via [`Interpreter::compact`]).
     pub in_envelopes: usize,
+}
+
+impl InterpreterFootprint {
+    /// `instances / unique_instances`: how many times the average resident
+    /// instance is shared across block states. 1.0 means no sharing.
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.unique_instances == 0 {
+            return 1.0;
+        }
+        self.instances as f64 / self.unique_instances as f64
+    }
+}
+
+impl std::ops::AddAssign for InterpreterFootprint {
+    /// Field-wise sum, for aggregating over several interpreters (e.g. all
+    /// servers of a simulation). Note `unique_instances` of a sum counts
+    /// per-interpreter-unique allocations — interpreters never share
+    /// memory with each other.
+    fn add_assign(&mut self, rhs: InterpreterFootprint) {
+        self.blocks += rhs.blocks;
+        self.instances += rhs.instances;
+        self.unique_instances += rhs.unique_instances;
+        self.out_envelopes += rhs.out_envelopes;
+        self.in_envelopes += rhs.in_envelopes;
+    }
 }
 
 /// Counters describing an interpreter's work.
@@ -166,7 +267,8 @@ pub struct InterpretStats {
     pub indications: u64,
 }
 
-/// The `interpret(G, P)` module of Algorithm 2.
+/// The `interpret(G, P)` module of Algorithm 2, with copy-on-write state
+/// sharing along parent edges (see the module docs).
 ///
 /// The interpreter never mutates the DAG; it tracks which blocks it has
 /// interpreted (`I[B]`, line 2) and owns the per-block protocol state. Feed
@@ -185,6 +287,9 @@ pub struct Interpreter<P: DeterministicProtocol> {
     order: Vec<BlockRef>,
     indications: Vec<Indication<P::Indication>>,
     stats: InterpretStats,
+    /// Prefix of `order` whose in-buffers [`Interpreter::compact`] has
+    /// already dropped; repeated compactions skip it.
+    compacted: usize,
     /// Incremental eligibility tracking for [`Interpreter::step`]: how many
     /// blocks of the DAG's insertion order have been scanned …
     scanned: usize,
@@ -206,6 +311,7 @@ impl<P: DeterministicProtocol> Interpreter<P> {
             order: Vec::new(),
             indications: Vec::new(),
             stats: InterpretStats::default(),
+            compacted: 0,
             scanned: 0,
             waiting: HashMap::new(),
             dependents: HashMap::new(),
@@ -240,12 +346,25 @@ impl<P: DeterministicProtocol> Interpreter<P> {
 
     /// The blocks currently eligible: `I[B]` is false and `I[B_i]` holds
     /// for every `B_i ∈ B.preds` (Algorithm 2, line 3).
-    pub fn eligible(&self, dag: &BlockDag) -> Vec<BlockRef> {
-        dag.refs()
-            .filter(|r| !self.is_interpreted(r))
-            .filter(|r| dag.preds_of(r).iter().all(|p| self.is_interpreted(p)))
-            .copied()
-            .collect()
+    ///
+    /// Served from the incremental `waiting`/`ready` bookkeeping that
+    /// [`Interpreter::step`] maintains — only blocks appended to the DAG
+    /// since the last call are scanned, never the whole DAG (the previous
+    /// implementation rescanned all of `V` and `E` per call).
+    ///
+    /// Like [`Interpreter::step`], this requires every call on one
+    /// interpreter to pass the *same, append-only* DAG (or a grown copy
+    /// of it, `G ≤ G'`): the scan position is an index into the DAG's
+    /// insertion order. Feeding unrelated DAGs to one interpreter yields
+    /// stale results.
+    pub fn eligible(&mut self, dag: &BlockDag) -> Vec<BlockRef> {
+        self.scan_new_blocks(dag);
+        // Prune blocks interpreted out-of-band (interpret_block() leaves
+        // its entry behind) so the queue never accumulates stale refs
+        // across repeated eligible()/interpret_block() driving loops.
+        let states = &self.states;
+        self.ready.retain(|r| !states.contains_key(r));
+        self.ready.iter().copied().collect()
     }
 
     /// Interprets every block of `dag` that is or becomes eligible, to a
@@ -309,7 +428,29 @@ impl<P: DeterministicProtocol> Interpreter<P> {
         }
     }
 
+    /// Materializes a mutable handle on `label`'s instance in `pis`:
+    /// unshares the map (first touch at this block) and the instance
+    /// itself (first touch of this label at this block) if currently
+    /// shared with an ancestor; creates the instance lazily on first
+    /// contact.
+    fn touch<'a>(
+        pis: &'a mut SharedInstances<P>,
+        config: &ProtocolConfig,
+        label: Label,
+        me: ServerId,
+    ) -> &'a mut P {
+        let map = Arc::make_mut(pis);
+        let slot = map
+            .entry(label)
+            .or_insert_with(|| Arc::new(P::new(config, label, me)));
+        Arc::make_mut(slot)
+    }
+
     /// Interprets a single eligible block (Algorithm 2, lines 4–12).
+    ///
+    /// Line 4 (`PIs := B_parent.PIs`) shares the parent's map by pointer;
+    /// only labels touched here — requests fed (lines 5–6) or messages
+    /// delivered (lines 8–11) — are cloned on write.
     ///
     /// # Errors
     ///
@@ -339,22 +480,37 @@ impl<P: DeterministicProtocol> Interpreter<P> {
 
         let me = block.builder();
 
-        // Line 4: PIs := copy of the parent's PIs. Genesis blocks (and, for
-        // lazily created labels, first contact) start fresh instances.
+        // Line 4: PIs := the parent's PIs — shared by pointer, not copied.
+        // Genesis blocks (and, for lazily created labels, first contact)
+        // start fresh instances.
         let parent = block
             .parent_via(|r| dag.meta(r))
             .expect("blocks in the DAG satisfy the parent rule");
-        let mut pis: BTreeMap<Label, P> = match parent {
-            Some(parent_ref) => self.states[&parent_ref].pis.clone(),
-            None => BTreeMap::new(),
+        let mut pis: SharedInstances<P> = match parent {
+            Some(parent_ref) => Arc::clone(&self.states[&parent_ref].pis),
+            None => Arc::new(BTreeMap::new()),
         };
 
         // Labels relevant at this block: requested at any strict ancestor
         // (union over preds of their active sets) — line 7 — plus the labels
-        // requested at this block itself.
-        let mut active: BTreeSet<Label> = BTreeSet::new();
+        // requested at this block itself. Seeded from the largest
+        // predecessor set; unshared only if the union adds labels.
+        let mut active: Arc<BTreeSet<Label>> = preds
+            .iter()
+            .map(|pred| &self.states[pred].active)
+            .max_by_key(|set| set.len())
+            .map(Arc::clone)
+            .unwrap_or_default();
         for pred in &preds {
-            active.extend(self.states[pred].active.iter().copied());
+            let pred_active = &self.states[pred].active;
+            if Arc::ptr_eq(pred_active, &active) {
+                continue;
+            }
+            for label in pred_active.iter() {
+                if !active.contains(label) {
+                    Arc::make_mut(&mut active).insert(*label);
+                }
+            }
         }
 
         let mut outs: BTreeMap<Label, BTreeSet<Envelope<P::Message>>> = BTreeMap::new();
@@ -367,15 +523,15 @@ impl<P: DeterministicProtocol> Interpreter<P> {
             let label = labeled.label;
             match decode_from_slice::<P::Request>(&labeled.payload) {
                 Ok(request) => {
-                    let instance = pis
-                        .entry(label)
-                        .or_insert_with(|| P::new(&config, label, me));
+                    let instance = Self::touch(&mut pis, &config, label, me);
                     let mut outbox = Outbox::new();
                     instance.on_request(request, &mut outbox);
                     let envelopes: Vec<_> = outbox.into_envelopes(me).collect();
                     self.stats.messages_materialized += envelopes.len() as u64;
                     outs.entry(label).or_default().extend(envelopes);
-                    active.insert(label);
+                    if !active.contains(&label) {
+                        Arc::make_mut(&mut active).insert(label);
+                    }
                     touched.insert(label);
                     self.stats.requests_processed += 1;
                 }
@@ -390,8 +546,19 @@ impl<P: DeterministicProtocol> Interpreter<P> {
 
         // Lines 7–11: for every relevant label, collect the in-messages
         // addressed to B.n from the direct predecessors' out-buffers and
-        // deliver them in the total order <_M.
-        for label in active.iter().copied() {
+        // deliver them in the total order <_M. Only labels some
+        // predecessor actually sent on can have a non-empty inbox — and
+        // a block's out-labels are always active at its successors — so
+        // ranging over the preds' out-label union instead of the whole
+        // `active` set is observationally identical (the retained
+        // reference interpreter iterates `active`; the equivalence suite
+        // pins this) and keeps delivery cost proportional to traffic,
+        // not to the lifetime label count.
+        let mut sending: BTreeSet<Label> = BTreeSet::new();
+        for pred in &preds {
+            sending.extend(self.states[pred].outs.keys().copied());
+        }
+        for label in sending {
             let mut inbox: BTreeSet<Envelope<P::Message>> = BTreeSet::new();
             for pred in &preds {
                 if let Some(out) = self.states[pred].outs.get(&label) {
@@ -401,9 +568,7 @@ impl<P: DeterministicProtocol> Interpreter<P> {
             if inbox.is_empty() {
                 continue;
             }
-            let instance = pis
-                .entry(label)
-                .or_insert_with(|| P::new(&config, label, me));
+            let instance = Self::touch(&mut pis, &config, label, me);
             for envelope in &inbox {
                 let mut outbox = Outbox::new();
                 instance.on_message(envelope.sender, envelope.message.clone(), &mut outbox);
@@ -417,15 +582,19 @@ impl<P: DeterministicProtocol> Interpreter<P> {
         }
 
         // Lines 13–14: surface indications from the instances driven here.
-        for label in &touched {
-            if let Some(instance) = pis.get_mut(label) {
-                for indication in instance.drain_indications() {
-                    self.stats.indications += 1;
-                    self.indications.push(Indication {
-                        label: *label,
-                        indication,
-                        server: me,
-                    });
+        // Touched instances are already unshared, so make_mut is free.
+        if !touched.is_empty() {
+            let map = Arc::make_mut(&mut pis);
+            for label in &touched {
+                if let Some(slot) = map.get_mut(label) {
+                    for indication in Arc::make_mut(slot).drain_indications() {
+                        self.stats.indications += 1;
+                        self.indications.push(Indication {
+                            label: *label,
+                            indication,
+                            server: me,
+                        });
+                    }
                 }
             }
         }
@@ -455,23 +624,52 @@ impl<P: DeterministicProtocol> Interpreter<P> {
     /// an old block directly (§7 discusses this unbounded-memory
     /// limitation of the abstraction). Returns the number of envelopes
     /// dropped.
+    ///
+    /// Compaction is incremental: a watermark into the interpretation
+    /// order skips already-compacted states, so calling this repeatedly
+    /// (e.g. on a timer) costs only the blocks interpreted since the last
+    /// call, and returns 0 in O(1) when there is nothing to drop.
     pub fn compact(&mut self) -> usize {
+        if self.compacted == self.order.len() {
+            return 0;
+        }
         let mut dropped = 0;
-        for state in self.states.values_mut() {
-            for (_, ins) in std::mem::take(&mut state.ins) {
-                dropped += ins.len();
+        let (order, states) = (&self.order, &mut self.states);
+        for block_ref in &order[self.compacted..] {
+            if let Some(state) = states.get_mut(block_ref) {
+                for (_, ins) in std::mem::take(&mut state.ins) {
+                    dropped += ins.len();
+                }
             }
         }
+        self.compacted = self.order.len();
         dropped
     }
 
-    /// Approximate memory footprint: stored protocol instances, out- and
-    /// in-envelopes across all interpreted blocks. Used by the bounded-
-    /// memory experiments and as the input to compaction policies.
+    /// Approximate memory footprint: stored protocol instances (total map
+    /// entries *and* unique resident allocations), out- and in-envelopes
+    /// across all interpreted blocks. Used by the bounded-memory
+    /// experiments and as the input to compaction policies.
+    ///
+    /// `instances` is what a clone-per-block interpreter would store;
+    /// `unique_instances` is what this interpreter actually keeps —
+    /// their ratio is the structural-sharing win.
     pub fn footprint(&self) -> InterpreterFootprint {
         let mut footprint = InterpreterFootprint::default();
+        let mut seen_maps: HashSet<*const BTreeMap<Label, Arc<P>>> = HashSet::new();
+        let mut seen_instances: HashSet<*const P> = HashSet::new();
         for state in self.states.values() {
             footprint.instances += state.pis.len();
+            if seen_maps.insert(Arc::as_ptr(&state.pis)) {
+                // A map shared by pointer contributes its instances once;
+                // distinct maps may still share entries, hence the second
+                // dedup level.
+                for slot in state.pis.values() {
+                    if seen_instances.insert(Arc::as_ptr(slot)) {
+                        footprint.unique_instances += 1;
+                    }
+                }
+            }
             footprint.out_envelopes += state.outs.values().map(BTreeSet::len).sum::<usize>();
             footprint.in_envelopes += state.ins.values().map(BTreeSet::len).sum::<usize>();
         }
@@ -572,6 +770,34 @@ mod tests {
         (dag, vec![b0, b1, b2, b3])
     }
 
+    /// A single-server chain of `length` blocks; only the genesis carries a
+    /// request, so blocks from index 2 on touch nothing (the PING
+    /// self-delivers at index 1 and Ping replies with silence).
+    fn single_chain(length: u64) -> (BlockDag, Vec<Block>) {
+        let (_, signers) = setup(1);
+        let mut dag = BlockDag::new();
+        let mut blocks = Vec::new();
+        let mut prev: Option<BlockRef> = None;
+        for k in 0..length {
+            let requests = if k == 0 {
+                vec![LabeledRequest::encode(Label::new(1), &7u64)]
+            } else {
+                vec![]
+            };
+            let block = Block::build(
+                ServerId::new(0),
+                SeqNum::new(k),
+                prev.into_iter().collect(),
+                requests,
+                &signers[0],
+            );
+            dag.insert(block.clone()).unwrap();
+            prev = Some(block.block_ref());
+            blocks.push(block);
+        }
+        (dag, blocks)
+    }
+
     #[test]
     fn eligibility_respects_partial_order() {
         let (dag, blocks) = two_server_dag();
@@ -586,6 +812,30 @@ mod tests {
             .interpret_block(&dag, &blocks[2].block_ref())
             .unwrap_err();
         assert!(matches!(err, InterpretError::NotEligible { .. }));
+    }
+
+    #[test]
+    fn eligible_tracks_incremental_progress() {
+        // eligible() reflects interpret_block() progress without rescans:
+        // interpreting a genesis block releases its dependents.
+        let (dag, blocks) = two_server_dag();
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        interpreter
+            .interpret_block(&dag, &blocks[0].block_ref())
+            .unwrap();
+        interpreter
+            .interpret_block(&dag, &blocks[1].block_ref())
+            .unwrap();
+        let eligible = interpreter.eligible(&dag);
+        assert_eq!(eligible, vec![blocks[2].block_ref()]);
+        interpreter
+            .interpret_block(&dag, &blocks[2].block_ref())
+            .unwrap();
+        assert_eq!(interpreter.eligible(&dag), vec![blocks[3].block_ref()]);
+        interpreter
+            .interpret_block(&dag, &blocks[3].block_ref())
+            .unwrap();
+        assert!(interpreter.eligible(&dag).is_empty());
     }
 
     #[test]
@@ -660,14 +910,13 @@ mod tests {
         for r in dag.refs() {
             let state_a = a.state(r).unwrap();
             let state_b = b.state(r).unwrap();
-            for label in [Label::new(1)] {
-                let outs_a: Vec<_> = state_a.out_messages(label).collect();
-                let outs_b: Vec<_> = state_b.out_messages(label).collect();
-                assert_eq!(outs_a, outs_b);
-                let ins_a: Vec<_> = state_a.in_messages(label).collect();
-                let ins_b: Vec<_> = state_b.in_messages(label).collect();
-                assert_eq!(ins_a, ins_b);
-            }
+            let label = Label::new(1);
+            let outs_a: Vec<_> = state_a.out_messages(label).collect();
+            let outs_b: Vec<_> = state_b.out_messages(label).collect();
+            assert_eq!(outs_a, outs_b);
+            let ins_a: Vec<_> = state_a.in_messages(label).collect();
+            let ins_b: Vec<_> = state_b.in_messages(label).collect();
+            assert_eq!(ins_a, ins_b);
         }
         assert_eq!(a.stats().messages_delivered, b.stats().messages_delivered);
     }
@@ -759,6 +1008,10 @@ mod tests {
             .collect();
         assert!(out3.iter().all(|m| *m == 1));
         assert!(out4.iter().all(|m| *m == 2));
+        // The split states are distinct allocations, never shared.
+        let state3 = interpreter.state(&b3.block_ref()).unwrap();
+        let state4 = interpreter.state(&b4.block_ref()).unwrap();
+        assert!(!state3.shares_instance_with(state4, label));
     }
 
     #[test]
@@ -804,6 +1057,73 @@ mod tests {
         // Out-buffers still serve future blocks correctly.
         let state = interpreter.state(&blocks[0].block_ref()).unwrap();
         assert_eq!(state.out_messages(Label::new(1)).count(), 2);
+    }
+
+    #[test]
+    fn compact_is_incremental_across_calls() {
+        let (dag_full, blocks) = two_server_dag();
+        let mut dag_partial = BlockDag::new();
+        dag_partial.insert(blocks[0].clone()).unwrap();
+        dag_partial.insert(blocks[1].clone()).unwrap();
+
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(2));
+        interpreter.step(&dag_partial);
+        // Genesis blocks have no preds, hence no in-buffers to drop.
+        assert_eq!(interpreter.compact(), 0);
+        // Re-compacting with no new blocks is a cheap no-op.
+        assert_eq!(interpreter.compact(), 0);
+
+        // Grow the DAG: only the two new blocks are visited, and exactly
+        // their in-envelopes (one each) are dropped.
+        interpreter.step(&dag_full);
+        let before = interpreter.footprint();
+        assert_eq!(interpreter.compact(), before.in_envelopes);
+        assert_eq!(interpreter.compact(), 0);
+        assert_eq!(interpreter.footprint().in_envelopes, 0);
+    }
+
+    #[test]
+    fn untouched_blocks_share_state_with_parent() {
+        // Chain of 6 blocks, one request at genesis: activity dies out
+        // after index 1 (the self-delivered PING), so blocks 2.. share the
+        // whole instance map — and the active set — with their parent.
+        let (dag, blocks) = single_chain(6);
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(1));
+        interpreter.step(&dag);
+
+        let state1 = interpreter.state(&blocks[1].block_ref()).unwrap();
+        for later in &blocks[2..] {
+            let state = interpreter.state(&later.block_ref()).unwrap();
+            assert!(
+                state.shares_instances_with(state1),
+                "quiescent block must share the parent's map"
+            );
+        }
+        // Genesis touched the label (request), block 1 touched it
+        // (delivery): two unique instances; blocks 2.. add nothing.
+        let footprint = interpreter.footprint();
+        assert_eq!(footprint.blocks, 6);
+        assert_eq!(footprint.instances, 6); // one label in every state
+        assert_eq!(footprint.unique_instances, 2);
+        assert!(footprint.sharing_ratio() > 2.9);
+    }
+
+    #[test]
+    fn cow_write_does_not_leak_into_ancestors() {
+        // The clone-on-write must isolate descendants from ancestors: after
+        // block 1 drives the instance (PING delivery mutates `seen`), the
+        // genesis state still shows the pre-delivery instance.
+        let (dag, blocks) = single_chain(3);
+        let mut interpreter: Interpreter<Ping> = Interpreter::new(ProtocolConfig::for_n(1));
+        interpreter.step(&dag);
+
+        let genesis = interpreter.state(&blocks[0].block_ref()).unwrap();
+        let after = interpreter.state(&blocks[1].block_ref()).unwrap();
+        let genesis_instance = genesis.instance(Label::new(1)).unwrap();
+        let after_instance = after.instance(Label::new(1)).unwrap();
+        assert!(genesis_instance.seen.is_empty(), "ancestor unmodified");
+        assert_eq!(after_instance.seen.len(), 1, "descendant advanced");
+        assert!(!genesis.shares_instance_with(after, Label::new(1)));
     }
 
     #[test]

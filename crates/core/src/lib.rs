@@ -66,6 +66,7 @@ pub mod interpret;
 mod label;
 pub mod protocol;
 pub mod recovery;
+pub mod reference;
 pub mod shim;
 
 pub use accountability::EquivocationProof;
@@ -73,10 +74,11 @@ pub use block::{Block, BlockRef, LabeledRequest, SeqNum};
 pub use dag::BlockDag;
 pub use error::{DagError, InvalidBlockError};
 pub use gossip::{Gossip, GossipConfig, NetCommand, NetMessage};
-pub use interpret::{Indication, Interpreter};
+pub use interpret::{Indication, InterpretStats, Interpreter, InterpreterFootprint};
 pub use label::Label;
 pub use protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig};
 pub use recovery::{persist_dag, restore_dag};
+pub use reference::ReferenceInterpreter;
 pub use shim::{Shim, ShimConfig};
 
 /// Simulation / wall-clock time in milliseconds.

@@ -32,7 +32,7 @@ use dagbft_crypto::{KeyRegistry, ServerId};
 use crate::block::LabeledRequest;
 use crate::dag::BlockDag;
 use crate::gossip::{Gossip, GossipConfig, NetCommand, NetMessage};
-use crate::interpret::{Indication, Interpreter};
+use crate::interpret::{Indication, Interpreter, InterpreterFootprint};
 use crate::label::Label;
 use crate::protocol::{DeterministicProtocol, ProtocolConfig};
 use crate::TimeMs;
@@ -155,6 +155,13 @@ impl<P: DeterministicProtocol> Shim<P> {
     /// interpreter re-derives every instance's state by re-interpreting
     /// the DAG from scratch — interpretation is a pure function of the DAG
     /// (Lemma 4.2), so the recovered state is identical to the lost one.
+    /// The replay benefits from the interpreter's copy-on-write sharing
+    /// (see [`crate::interpret`]): re-interpreting a long DAG allocates
+    /// per-label instance state only at the blocks that touched the
+    /// label, so recovery *memory* is bounded by activity. Wall-clock
+    /// still visits every block once (Algorithm 2 interprets each block),
+    /// so replay time remains linear in chain length, just with a far
+    /// smaller per-block constant on quiescent stretches.
     /// Indications raised during the replay are delivered again; an
     /// application persisting its own progress should deduplicate them
     /// (the paper's "persist enough information … as part of P").
@@ -207,6 +214,20 @@ impl<P: DeterministicProtocol> Shim<P> {
     /// Read access to the interpreter (per-block states, stats).
     pub fn interpreter(&self) -> &Interpreter<P> {
         &self.interpreter
+    }
+
+    /// The interpreter's memory footprint — total vs unique instances
+    /// (the structural-sharing win), out- and in-envelopes. See
+    /// [`Interpreter::footprint`].
+    pub fn footprint(&self) -> InterpreterFootprint {
+        self.interpreter.footprint()
+    }
+
+    /// Drops the interpreter's introspection-only in-buffers
+    /// ([`Interpreter::compact`]); incremental, safe to call on a timer.
+    /// Returns the number of envelopes dropped.
+    pub fn compact(&mut self) -> usize {
+        self.interpreter.compact()
     }
 
     /// `request(ℓ, r)`: buffer a user request for instance `ℓ`
@@ -338,13 +359,10 @@ mod tests {
         while let Some((from, command)) = queue.pop() {
             match command {
                 NetCommand::Broadcast { message } => {
-                    for target in 0..shims.len() {
+                    for (target, shim) in shims.iter_mut().enumerate() {
                         if target != from {
-                            let follow = shims[target].on_message(
-                                ServerId::new(from as u32),
-                                message.clone(),
-                                now,
-                            );
+                            let follow =
+                                shim.on_message(ServerId::new(from as u32), message.clone(), now);
                             queue.extend(follow.into_iter().map(|c| (target, c)));
                         }
                     }
@@ -494,6 +512,34 @@ mod tests {
             block.preds().contains(&s1_tip),
             "recovered block must reference the pre-crash backlog"
         );
+    }
+
+    #[test]
+    fn footprint_and_compact_surface_sharing() {
+        let registry = KeyRegistry::generate(1, 3);
+        let config = ShimConfig::new(ProtocolConfig::for_n(1));
+        let mut shim: Shim<Flood> = Shim::new(ServerId::new(0), config, &registry).unwrap();
+        shim.request(Label::new(1), 7);
+        // One request, then a long quiescent chain: activity dies out, so
+        // instance state is shared across the tail blocks.
+        for now in 0..12 {
+            shim.disseminate(now);
+        }
+        let footprint = shim.footprint();
+        assert_eq!(footprint.blocks, 12);
+        assert!(
+            footprint.unique_instances < footprint.instances,
+            "structural sharing must be visible: {} unique of {}",
+            footprint.unique_instances,
+            footprint.instances
+        );
+        let dropped = shim.compact();
+        assert_eq!(dropped, footprint.in_envelopes);
+        assert_eq!(shim.compact(), 0, "second compaction is a no-op");
+        assert_eq!(shim.footprint().in_envelopes, 0);
+        // Interpretation still extends correctly after compaction.
+        shim.disseminate(12);
+        assert_eq!(shim.footprint().blocks, 13);
     }
 
     #[test]

@@ -101,7 +101,7 @@ proptest! {
     ) {
         let blocks = block_soup(builders, rounds, false);
         let mut order: Vec<usize> = (0..blocks.len())
-            .flat_map(|i| std::iter::repeat(i).take(dup_factor))
+            .flat_map(|i| std::iter::repeat_n(i, dup_factor))
             .collect();
         order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
         let (len, refs) = receive_in_order(&blocks, &order, builders);

@@ -393,8 +393,8 @@ mod tests {
         net.silence(8);
         net.silence(9);
         let delivered = net.run(0, 100);
-        for server in 0..7 {
-            assert_eq!(delivered[server], Some(100), "server {server}");
+        for (server, value) in delivered.iter().enumerate().take(7) {
+            assert_eq!(*value, Some(100), "server {server}");
         }
         let _ = net.config();
     }

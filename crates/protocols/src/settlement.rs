@@ -141,13 +141,10 @@ mod tests {
         while let Some((from, command)) = queue.pop() {
             match command {
                 NetCommand::Broadcast { message } => {
-                    for target in 0..nodes.len() {
+                    for (target, node) in nodes.iter_mut().enumerate() {
                         if target != from {
-                            let more = nodes[target].on_message(
-                                ServerId::new(from as u32),
-                                message.clone(),
-                                now,
-                            );
+                            let more =
+                                node.on_message(ServerId::new(from as u32), message.clone(), now);
                             queue.extend(more.into_iter().map(|c| (target, c)));
                         }
                     }

@@ -124,8 +124,8 @@ impl SimConfig {
 
 /// A server slot in the simulation.
 enum Server<P: DeterministicProtocol> {
-    Correct(Shim<P>),
-    Byzantine(ByzServer),
+    Correct(Box<Shim<P>>),
+    Byzantine(Box<ByzServer>),
     /// A crashed server; retained for index stability.
     Crashed,
     /// A crashed server awaiting restart, holding its persisted DAG image.
@@ -214,6 +214,20 @@ impl<P: DeterministicProtocol> SimOutcome<P> {
             .filter_map(|(i, s)| matches!(s, ServerView::Correct(_)).then_some(i))
             .collect()
     }
+
+    /// Aggregated interpreter memory footprint over all correct servers:
+    /// total vs unique protocol instances (the copy-on-write sharing win)
+    /// and envelope counts. `unique_instances` sums per-server-unique
+    /// allocations; interpreters never share memory with each other.
+    pub fn interpreter_footprint(&self) -> dagbft_core::InterpreterFootprint {
+        let mut total = dagbft_core::InterpreterFootprint::default();
+        for server in &self.servers {
+            if let ServerView::Correct(shim) = server {
+                total += shim.footprint();
+            }
+        }
+        total
+    }
 }
 
 enum Event<P: DeterministicProtocol> {
@@ -265,16 +279,18 @@ impl<P: DeterministicProtocol> Simulation<P> {
         for index in 0..config.n {
             let role = config.roles.get(&index).cloned().unwrap_or(Role::Correct);
             let server = match role {
-                Role::Correct | Role::Crash { .. } | Role::Restart { .. } => Server::Correct(
-                    Shim::new(ServerId::new(index as u32), shim_config, &registry)
-                        .expect("key exists for every server"),
-                ),
-                byzantine => Server::Byzantine(ByzServer::new(
+                Role::Correct | Role::Crash { .. } | Role::Restart { .. } => {
+                    Server::Correct(Box::new(
+                        Shim::new(ServerId::new(index as u32), shim_config, &registry)
+                            .expect("key exists for every server"),
+                    ))
+                }
+                byzantine => Server::Byzantine(Box::new(ByzServer::new(
                     ServerId::new(index as u32),
                     config.n,
                     byzantine,
                     &registry,
-                )),
+                ))),
             };
             servers.push(server);
         }
@@ -352,8 +368,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
                 .servers
                 .into_iter()
                 .map(|server| match server {
-                    Server::Correct(shim) => ServerView::Correct(Box::new(shim)),
-                    Server::Byzantine(byz) => ServerView::Byzantine(Box::new(byz)),
+                    Server::Correct(shim) => ServerView::Correct(shim),
+                    Server::Byzantine(byz) => ServerView::Byzantine(byz),
                     Server::Crashed | Server::Down { .. } => ServerView::Crashed,
                 })
                 .collect(),
@@ -428,10 +444,10 @@ impl<P: DeterministicProtocol> Simulation<P> {
     /// the paper's "persist enough information" prerequisite.
     fn crash_if_due(&mut self, server: usize, now: TimeMs) {
         match self.config.roles.get(&server) {
-            Some(Role::Crash { at }) => {
-                if now >= *at && matches!(self.servers[server], Server::Correct(_)) {
-                    self.servers[server] = Server::Crashed;
-                }
+            Some(Role::Crash { at })
+                if now >= *at && matches!(self.servers[server], Server::Correct(_)) =>
+            {
+                self.servers[server] = Server::Crashed;
             }
             Some(Role::Restart {
                 crash_at,
@@ -469,7 +485,7 @@ impl<P: DeterministicProtocol> Simulation<P> {
         )
         .expect("key exists for every server");
         let _replayed = shim.poll_indications();
-        self.servers[server] = Server::Correct(shim);
+        self.servers[server] = Server::Correct(Box::new(shim));
         // Timers died while down; restart them.
         self.queue.schedule(now, Event::Disseminate { server });
         self.queue.schedule(now + 1, Event::Tick { server });
@@ -718,6 +734,27 @@ mod tests {
         let latencies = outcome.latencies_for(Label::new(1));
         assert_eq!(latencies.len(), 4);
         assert!(latencies.iter().all(|l| *l > 0));
+    }
+
+    #[test]
+    fn interpreter_footprint_aggregates_correct_servers() {
+        let config = SimConfig::new(4)
+            .with_max_time(5_000)
+            .with_role(3, Role::Crash { at: 1 })
+            .with_stop_after_deliveries(3);
+        let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+        sim.inject(broadcast_injection(0, 0, 1, 42));
+        let outcome = sim.run();
+        let total = outcome.interpreter_footprint();
+        // Only the three correct servers contribute.
+        let per_server: usize = outcome
+            .correct_servers()
+            .iter()
+            .map(|i| outcome.shim(*i).footprint().blocks)
+            .sum();
+        assert_eq!(total.blocks, per_server);
+        assert!(total.blocks > 0);
+        assert!(total.unique_instances <= total.instances);
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub fn spawn_node<P>(
     transport: TcpTransport,
 ) -> Result<NodeHandle<P>, SetupError>
 where
-    P: DeterministicProtocol + Send + 'static,
+    P: DeterministicProtocol + Send + Sync + 'static,
     P::Request: Send,
     P::Message: Send,
     P::Indication: Send,
@@ -176,7 +176,7 @@ pub fn spawn_local_cluster<P>(
     seed: u64,
 ) -> std::io::Result<(Vec<NodeHandle<P>>, KeyRegistry)>
 where
-    P: DeterministicProtocol + Send + 'static,
+    P: DeterministicProtocol + Send + Sync + 'static,
     P::Request: Send,
     P::Message: Send,
     P::Indication: Send,

@@ -17,7 +17,7 @@ fn main() {
 
     // The transfer workload: a small payment graph with chained funds
     // (acct2 spends money that arrives from acct1, etc.).
-    let transfers = vec![
+    let transfers = [
         Transfer {
             from: AccountId(1),
             to: AccountId(2),

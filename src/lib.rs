@@ -64,8 +64,9 @@ pub mod prelude {
     pub use dagbft_baseline::{BaselineConfig, BaselineSimulation, DirectInjection};
     pub use dagbft_core::{
         Block, BlockDag, BlockRef, DeterministicProtocol, Envelope, Gossip, GossipConfig,
-        Indication, Interpreter, Label, LabeledRequest, NetCommand, NetMessage, Outbox,
-        ProtocolConfig, SeqNum, Shim, ShimConfig, TimeMs,
+        Indication, InterpretStats, Interpreter, InterpreterFootprint, Label, LabeledRequest,
+        NetCommand, NetMessage, Outbox, ProtocolConfig, ReferenceInterpreter, SeqNum, Shim,
+        ShimConfig, TimeMs,
     };
     pub use dagbft_crypto::{KeyRegistry, ServerId};
     pub use dagbft_protocols::{

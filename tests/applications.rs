@@ -9,7 +9,7 @@ use dagbft::protocols::Transfer;
 #[test]
 fn payments_replicas_converge() {
     let n = 4;
-    let transfers = vec![
+    let transfers = [
         Transfer {
             from: AccountId(1),
             to: AccountId(2),

@@ -126,7 +126,7 @@ fn figure_4(rounds: u64) -> (BlockDag, Vec<Vec<Block>>) {
             .map(|layer| layer.iter().map(Block::block_ref).collect())
             .unwrap_or_default();
         let mut layer = Vec::new();
-        for index in 0..n {
+        for (index, signer) in signers.iter().enumerate() {
             let requests = if round == 0 && index == 0 {
                 vec![LabeledRequest::encode(
                     Label::new(1),
@@ -140,7 +140,7 @@ fn figure_4(rounds: u64) -> (BlockDag, Vec<Vec<Block>>) {
                 SeqNum::new(round),
                 preds.clone(),
                 requests,
-                &signers[index],
+                signer,
             );
             dag.insert(block.clone()).unwrap();
             layer.push(block);
@@ -251,6 +251,48 @@ fn fig4_no_message_ever_sent() {
 }
 
 #[test]
+fn fig4_long_tail_shares_interpreter_state() {
+    // Extend Figure 4 past the delivery round: BRB goes quiescent after
+    // round 3, so every later block shares its whole instance map with its
+    // parent (copy-on-write), and the interpreter's resident state stops
+    // growing even as blocks keep flowing.
+    let (dag, layers) = figure_4(8);
+    let mut interpreter: Interpreter<Brb<u64>> = Interpreter::new(ProtocolConfig::for_n(4));
+    interpreter.step(&dag);
+
+    for round in 5..8 {
+        for (server, block) in layers[round].iter().enumerate() {
+            let state = interpreter.state(&block.block_ref()).unwrap();
+            let parent = interpreter
+                .state(&layers[round - 1][server].block_ref())
+                .unwrap();
+            assert!(
+                state.shares_instances_with(parent),
+                "round {round} block of s{server} must share its parent's map"
+            );
+        }
+    }
+
+    let footprint = interpreter.footprint();
+    assert_eq!(footprint.blocks, 32);
+    assert!(
+        footprint.unique_instances < footprint.instances,
+        "sharing must be visible: {} unique of {} total",
+        footprint.unique_instances,
+        footprint.instances
+    );
+    // Compaction drops exactly the in-envelopes, once.
+    let dropped = interpreter.compact();
+    assert_eq!(dropped, footprint.in_envelopes);
+    assert_eq!(interpreter.compact(), 0);
+    assert_eq!(interpreter.footprint().in_envelopes, 0);
+    assert_eq!(
+        interpreter.footprint().out_envelopes,
+        footprint.out_envelopes
+    );
+}
+
+#[test]
 fn fig4_more_requests_materialize_on_same_blocks() {
     // §5: "B1.rs may hold more requests such as broadcast(21) for ℓ2" —
     // additional instances cost zero additional blocks.
@@ -260,7 +302,7 @@ fn fig4_more_requests_materialize_on_same_blocks() {
     let mut prev: Vec<BlockRef> = Vec::new();
     for round in 0..4u64 {
         let mut layer = Vec::new();
-        for index in 0..n {
+        for (index, signer) in signers.iter().enumerate() {
             let requests = if round == 0 && index == 0 {
                 vec![
                     LabeledRequest::encode(Label::new(1), &BrbRequest::Broadcast(42u64)),
@@ -280,7 +322,7 @@ fn fig4_more_requests_materialize_on_same_blocks() {
                 SeqNum::new(round),
                 prev.clone(),
                 requests,
-                &signers[index],
+                signer,
             );
             dag.insert(block.clone()).unwrap();
             layer.push(block.block_ref());

@@ -56,7 +56,7 @@ where
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = super::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in data.chunks(2) {
