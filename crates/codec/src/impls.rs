@@ -152,7 +152,9 @@ impl WireEncode for Bytes {
 impl WireDecode for Bytes {
     fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let len = reader.read_len(1)?;
-        Ok(Bytes::copy_from_slice(reader.take(len)?))
+        // Zero-copy when the reader is backed by a shared buffer
+        // (`decode_from_bytes`): the payload is a slice of the input.
+        reader.take_bytes(len)
     }
 }
 

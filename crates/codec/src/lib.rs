@@ -84,6 +84,26 @@ pub fn decode_from_slice<T: WireDecode>(bytes: &[u8]) -> Result<T, DecodeError> 
     Ok(value)
 }
 
+/// Decodes a single `T` from a shared buffer, requiring that all input is
+/// consumed. Unlike [`decode_from_slice`], decoders that retain payload
+/// bytes (block wire images, opaque request payloads) *slice* `bytes`
+/// instead of copying — the zero-copy receive path.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::TrailingBytes`] if input remains after decoding,
+/// or any error produced by the underlying [`WireDecode`] implementation.
+pub fn decode_from_bytes<T: WireDecode>(bytes: &bytes::Bytes) -> Result<T, DecodeError> {
+    let mut reader = Reader::from_shared(bytes);
+    let value = T::decode(&mut reader)?;
+    if reader.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes {
+            remaining: reader.remaining(),
+        });
+    }
+    Ok(value)
+}
+
 /// Maximum element count accepted for any length-prefixed sequence.
 ///
 /// This bounds allocation on malformed or hostile input: a decoder never
@@ -116,5 +136,26 @@ mod tests {
         let a = vec!["x".to_owned(), "y".to_owned()];
         let b = vec!["x".to_owned(), "y".to_owned()];
         assert_eq!(encode_to_vec(&a), encode_to_vec(&b));
+    }
+
+    #[test]
+    fn decode_from_bytes_slices_payloads() {
+        let payload = bytes::Bytes::from(b"payload".to_vec());
+        let buffer = bytes::Bytes::from(encode_to_vec(&payload));
+        let decoded: bytes::Bytes = decode_from_bytes(&buffer).unwrap();
+        assert_eq!(decoded, payload);
+        assert!(
+            decoded.shares_allocation_with(&buffer),
+            "payload must be a slice of the input buffer, not a copy"
+        );
+    }
+
+    #[test]
+    fn decode_from_bytes_rejects_trailing() {
+        let mut raw = encode_to_vec(&1_u8);
+        raw.push(0);
+        let buffer = bytes::Bytes::from(raw);
+        let err = decode_from_bytes::<u8>(&buffer).unwrap_err();
+        assert!(matches!(err, DecodeError::TrailingBytes { remaining: 1 }));
     }
 }

@@ -1,8 +1,15 @@
 //! Cursor over wire bytes.
 
+use bytes::Bytes;
+
 use crate::{DecodeError, MAX_SEQUENCE_LEN};
 
 /// A forward-only cursor over a byte slice used by [`crate::WireDecode`].
+///
+/// A reader can optionally be backed by a shared [`Bytes`] buffer
+/// ([`Reader::from_shared`]); decoders that need to retain payload bytes
+/// (block wire images, request payloads) then *slice* the shared buffer
+/// instead of copying it — the zero-copy receive path.
 ///
 /// # Examples
 ///
@@ -18,12 +25,30 @@ use crate::{DecodeError, MAX_SEQUENCE_LEN};
 pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// When decoding out of a shared buffer, the owner of `bytes`:
+    /// retained payloads are sliced from it instead of copied.
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader positioned at the start of `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, pos: 0 }
+        Reader {
+            bytes,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    /// Creates a reader over a shared buffer. Decoders that retain payload
+    /// bytes ([`Reader::take_bytes`], [`Reader::bytes_between`]) will slice
+    /// `bytes` zero-copy instead of allocating.
+    pub fn from_shared(bytes: &'a Bytes) -> Self {
+        Reader {
+            bytes,
+            pos: 0,
+            shared: Some(bytes),
+        }
     }
 
     /// Number of bytes not yet consumed.
@@ -51,6 +76,55 @@ impl<'a> Reader<'a> {
         let slice = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
         Ok(slice)
+    }
+
+    /// Takes the next `n` bytes as an owned [`Bytes`] value: a zero-copy
+    /// slice of the backing buffer when the reader was built with
+    /// [`Reader::from_shared`], a copy otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take_bytes(&mut self, n: usize) -> Result<Bytes, DecodeError> {
+        let start = self.pos;
+        let slice = self.take(n)?;
+        Ok(match self.shared {
+            Some(shared) => shared.slice(start..start + n),
+            None => Bytes::copy_from_slice(slice),
+        })
+    }
+
+    /// Re-reads the already-consumed window `[start, end)` as a borrowed
+    /// slice — used by decoders that hash or re-examine their own input
+    /// (e.g. a block's `ref` preimage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is inverted or extends past the current
+    /// position (it must already have been consumed).
+    pub fn window(&self, start: usize, end: usize) -> &'a [u8] {
+        assert!(
+            start <= end && end <= self.pos,
+            "window [{start}, {end}) not fully consumed (pos {})",
+            self.pos
+        );
+        &self.bytes[start..end]
+    }
+
+    /// Returns the already-consumed window `[start, end)` as owned
+    /// [`Bytes`]: a zero-copy slice of the backing buffer when shared, a
+    /// copy otherwise. Used by decoders that retain their own canonical
+    /// encoding (e.g. a block's cached wire image).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Reader::window`].
+    pub fn bytes_between(&self, start: usize, end: usize) -> Bytes {
+        let window = self.window(start, end);
+        match self.shared {
+            Some(shared) => shared.slice(start..end),
+            None => Bytes::copy_from_slice(window),
+        }
     }
 
     /// Reads one byte.
@@ -165,5 +239,42 @@ mod tests {
     fn integer_endianness_is_little() {
         let mut reader = Reader::new(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08]);
         assert_eq!(reader.read_u64().unwrap(), 0x0807_0605_0403_0201);
+    }
+
+    #[test]
+    fn take_bytes_slices_shared_buffer() {
+        let buffer = Bytes::from(vec![9, 8, 7, 6]);
+        let mut reader = Reader::from_shared(&buffer);
+        reader.read_u8().unwrap();
+        let taken = reader.take_bytes(2).unwrap();
+        assert_eq!(taken.as_ref(), &[8, 7]);
+        assert!(taken.shares_allocation_with(&buffer), "must not copy");
+    }
+
+    #[test]
+    fn take_bytes_copies_without_shared_backing() {
+        let data = [9u8, 8, 7, 6];
+        let mut reader = Reader::new(&data);
+        let taken = reader.take_bytes(4).unwrap();
+        assert_eq!(taken.as_ref(), &data);
+    }
+
+    #[test]
+    fn bytes_between_returns_consumed_window() {
+        let buffer = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mut reader = Reader::from_shared(&buffer);
+        reader.take(4).unwrap();
+        let window = reader.bytes_between(1, 4);
+        assert_eq!(window.as_ref(), &[2, 3, 4]);
+        assert!(window.shares_allocation_with(&buffer));
+        assert_eq!(reader.window(1, 4), &[2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fully consumed")]
+    fn bytes_between_rejects_unconsumed_window() {
+        let buffer = Bytes::from(vec![1, 2, 3]);
+        let reader = Reader::from_shared(&buffer);
+        let _ = reader.bytes_between(0, 2);
     }
 }

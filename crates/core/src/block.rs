@@ -9,15 +9,35 @@
 //! Because `ref(B)` must be known to build a block referencing `B`,
 //! reference cycles are impossible (Lemma 3.2): temporal order is a static,
 //! cryptographic property.
+//!
+//! # The encode-once wire path
+//!
+//! The canonical encoding is a first-class artifact: a block computes its
+//! wire bytes exactly once — at [`Block::build`] time, or by *slicing* the
+//! received buffer at decode time — and caches them as shared [`Bytes`].
+//! `ref(B)`, signature verification, [`Block::wire_len`], and every send
+//! reuse that one buffer; [`Block::clone`] is a reference-count bump (the
+//! block body lives behind an `Arc`), so broadcasting to `n − 1` peers
+//! costs one canonical encode total instead of `n − 1`.
+//! [`Block::canonical_encodes`] counts the encodes actually performed,
+//! which the `report_wire` bench uses to pin the encode-once claim.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
-use dagbft_codec::{encode_to_vec, DecodeError, Reader, WireDecode, WireEncode};
+use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
 use dagbft_crypto::{sha256, Digest, ServerId, Signature, Signer, Verifier};
 
 use crate::error::InvalidBlockError;
 use crate::label::Label;
+
+/// Number of canonical block encodings performed since process start
+/// (field-by-field serializations — cache hits don't count).
+static CANONICAL_ENCODES: AtomicU64 = AtomicU64::new(0);
+/// Total bytes produced by those canonical encodings.
+static CANONICAL_ENCODE_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// A block reference `ref(B)`: the SHA-256 digest of the block's canonical
 /// encoding without the signature (Definition 3.1).
@@ -36,6 +56,12 @@ impl BlockRef {
     /// The underlying digest.
     pub fn digest(&self) -> Digest {
         self.0
+    }
+
+    /// The raw digest bytes — also the exact canonical wire encoding of a
+    /// reference, so transports can write it without re-encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
     }
 
     /// Compact prefix for display in traces and rendered DAGs.
@@ -125,7 +151,9 @@ impl WireDecode for SeqNum {
 ///
 /// The payload is the *opaque* wire encoding of `P::Request`; keeping it
 /// opaque makes `gossip` independent of the embedded protocol, exactly as in
-/// the paper's Figure 1 where only `interpret(G, P)` knows `P`.
+/// the paper's Figure 1 where only `interpret(G, P)` knows `P`. When a block
+/// is decoded from a shared receive buffer, the payload is a zero-copy slice
+/// of that buffer.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LabeledRequest {
     /// The protocol instance the request addresses.
@@ -139,7 +167,7 @@ impl LabeledRequest {
     pub fn encode<R: WireEncode>(label: Label, request: &R) -> Self {
         LabeledRequest {
             label,
-            payload: Bytes::from(encode_to_vec(request)),
+            payload: Bytes::from(dagbft_codec::encode_to_vec(request)),
         }
     }
 }
@@ -160,10 +188,27 @@ impl WireDecode for LabeledRequest {
     }
 }
 
+/// The immutable body of a [`Block`], shared behind an `Arc`.
+#[derive(Debug)]
+struct BlockInner {
+    builder: ServerId,
+    seq: SeqNum,
+    preds: Vec<BlockRef>,
+    requests: Vec<LabeledRequest>,
+    signature: Signature,
+    /// Cached `ref(B)`.
+    block_ref: BlockRef,
+    /// Cached canonical wire encoding, *including* the trailing signature.
+    /// The signing preimage (Definition 3.1's hash input) is the prefix
+    /// `wire[..wire.len() − Signature::SIZE]`.
+    wire: Bytes,
+}
+
 /// A block `B ∈ Blks` (Definition 3.1).
 ///
-/// Blocks are immutable once built; the reference `ref(B)` is computed at
-/// construction (or decode) time and cached.
+/// Blocks are immutable once built; the reference `ref(B)` *and* the
+/// canonical wire bytes are computed at construction (or sliced from the
+/// input at decode) time and cached. `Clone` is a reference-count bump.
 ///
 /// # Examples
 ///
@@ -176,20 +221,20 @@ impl WireDecode for LabeledRequest {
 /// let genesis = Block::build(ServerId::new(0), dagbft_core::SeqNum::ZERO, vec![], vec![], &signer);
 /// assert!(genesis.is_genesis());
 /// assert_eq!(genesis.builder(), ServerId::new(0));
+/// // The cached wire image is the canonical encoding.
+/// assert_eq!(genesis.wire_bytes().len(), genesis.wire_len());
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Block {
-    builder: ServerId,
-    seq: SeqNum,
-    preds: Vec<BlockRef>,
-    requests: Vec<LabeledRequest>,
-    signature: Signature,
-    /// Cached `ref(B)`.
-    block_ref: BlockRef,
+    inner: Arc<BlockInner>,
 }
 
 impl Block {
     /// Builds and signs a block (Algorithm 1, line 15: `σ := sign(s, B)`).
+    ///
+    /// This is the **one** canonical encode in a block's lifetime: the
+    /// signing preimage is serialized once, hashed into `ref(B)`, extended
+    /// with the signature, and cached as the block's wire image.
     pub fn build(
         builder: ServerId,
         seq: SeqNum,
@@ -198,16 +243,12 @@ impl Block {
         signer: &Signer,
     ) -> Block {
         debug_assert_eq!(signer.id(), builder, "blocks are signed by their builder");
-        let block_ref = Self::compute_ref(builder, seq, &preds, &requests);
+        let preimage = Self::encode_preimage(builder, seq, &preds, &requests);
+        let block_ref = BlockRef(sha256(&preimage));
         let signature = signer.sign(block_ref.digest().as_bytes());
-        Block {
-            builder,
-            seq,
-            preds,
-            requests,
-            signature,
-            block_ref,
-        }
+        Self::assemble(
+            builder, seq, preds, requests, signature, block_ref, preimage,
+        )
     }
 
     /// Assembles a block with an arbitrary signature, for adversarial tests
@@ -219,75 +260,128 @@ impl Block {
         requests: Vec<LabeledRequest>,
         signature: Signature,
     ) -> Block {
-        let block_ref = Self::compute_ref(builder, seq, &preds, &requests);
+        let preimage = Self::encode_preimage(builder, seq, &preds, &requests);
+        let block_ref = BlockRef(sha256(&preimage));
+        Self::assemble(
+            builder, seq, preds, requests, signature, block_ref, preimage,
+        )
+    }
+
+    fn assemble(
+        builder: ServerId,
+        seq: SeqNum,
+        preds: Vec<BlockRef>,
+        requests: Vec<LabeledRequest>,
+        signature: Signature,
+        block_ref: BlockRef,
+        mut wire: Vec<u8>,
+    ) -> Block {
+        signature.encode(&mut wire);
         Block {
-            builder,
-            seq,
-            preds,
-            requests,
-            signature,
-            block_ref,
+            inner: Arc::new(BlockInner {
+                builder,
+                seq,
+                preds,
+                requests,
+                signature,
+                block_ref,
+                wire: Bytes::from(wire),
+            }),
         }
     }
 
-    /// Computes `ref` over `n`, `k`, `preds`, `rs` — and *not* `σ`
-    /// (Definition 3.1: this keeps `sign(B.n, ref(B))` well defined).
-    fn compute_ref(
+    /// Serializes the `ref` preimage — `n`, `k`, `preds`, `rs`, and *not*
+    /// `σ` (Definition 3.1: this keeps `sign(B.n, ref(B))` well defined).
+    /// The only place block fields are turned into bytes.
+    fn encode_preimage(
         builder: ServerId,
         seq: SeqNum,
         preds: &[BlockRef],
         requests: &[LabeledRequest],
-    ) -> BlockRef {
+    ) -> Vec<u8> {
         let mut preimage = Vec::new();
         builder.encode(&mut preimage);
         seq.encode(&mut preimage);
         preds.encode(&mut preimage);
         requests.encode(&mut preimage);
-        BlockRef(sha256(&preimage))
+        CANONICAL_ENCODES.fetch_add(1, Ordering::Relaxed);
+        CANONICAL_ENCODE_BYTES.fetch_add(
+            preimage.len() as u64 + Signature::SIZE as u64,
+            Ordering::Relaxed,
+        );
+        preimage
+    }
+
+    /// Number of canonical (field-by-field) block encodings performed by
+    /// this process so far. Sends that reuse the cached wire image do not
+    /// count — the `report_wire` bench asserts exactly one per block
+    /// regardless of broadcast fan-out.
+    pub fn canonical_encodes() -> u64 {
+        CANONICAL_ENCODES.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes produced by canonical block encodings so far.
+    pub fn canonical_encode_bytes() -> u64 {
+        CANONICAL_ENCODE_BYTES.load(Ordering::Relaxed)
     }
 
     /// The identity `n` of the server that built this block.
     pub fn builder(&self) -> ServerId {
-        self.builder
+        self.inner.builder
     }
 
     /// The sequence number `k`.
     pub fn seq(&self) -> SeqNum {
-        self.seq
+        self.inner.seq
     }
 
     /// References to predecessor blocks, in inclusion order.
     pub fn preds(&self) -> &[BlockRef] {
-        &self.preds
+        &self.inner.preds
     }
 
     /// The labeled requests `rs` carried by this block.
     pub fn requests(&self) -> &[LabeledRequest] {
-        &self.requests
+        &self.inner.requests
     }
 
     /// The signature `σ = sign(n, ref(B))`.
     pub fn signature(&self) -> &Signature {
-        &self.signature
+        &self.inner.signature
     }
 
     /// The cached block reference `ref(B)`.
     pub fn block_ref(&self) -> BlockRef {
-        self.block_ref
+        self.inner.block_ref
+    }
+
+    /// The cached canonical wire encoding (including the signature).
+    /// Cloning the returned [`Bytes`] shares the buffer — this is what
+    /// every send of the block puts on the wire.
+    pub fn wire_bytes(&self) -> &Bytes {
+        &self.inner.wire
+    }
+
+    /// The cached signing preimage — the canonical encoding of `n`, `k`,
+    /// `preds`, `rs` that `ref(B)` hashes — as a zero-copy slice of the
+    /// wire image.
+    pub fn signing_preimage(&self) -> Bytes {
+        let wire = &self.inner.wire;
+        wire.slice(..wire.len() - Signature::SIZE)
     }
 
     /// Returns `true` for genesis blocks (`k = 0`), which cannot — and need
     /// not — have a parent.
     pub fn is_genesis(&self) -> bool {
-        self.seq == SeqNum::ZERO
+        self.inner.seq == SeqNum::ZERO
     }
 
     /// Verifies `σ` against the claimed builder (Definition 3.3 (i)).
     pub fn verify_signature(&self, verifier: &Verifier) -> bool {
         verifier.verify(
-            self.builder,
-            self.block_ref.digest().as_bytes(),
-            &self.signature,
+            self.inner.builder,
+            self.inner.block_ref.digest().as_bytes(),
+            &self.inner.signature,
         )
     }
 
@@ -308,21 +402,21 @@ impl Block {
     where
         F: Fn(&BlockRef) -> Option<(ServerId, SeqNum)>,
     {
-        let Some(expected_seq) = self.seq.prev() else {
+        let Some(expected_seq) = self.inner.seq.prev() else {
             return Ok(None); // Genesis: 0 is minimal in ℕ₀, no parent possible.
         };
         let mut parent: Option<BlockRef> = None;
-        for pred in &self.preds {
+        for pred in &self.inner.preds {
             let Some((builder, seq)) = meta(pred) else {
                 continue;
             };
-            if builder == self.builder && seq == expected_seq {
+            if builder == self.inner.builder && seq == expected_seq {
                 match parent {
                     None => parent = Some(*pred),
                     Some(existing) if existing == *pred => {}
                     Some(existing) => {
                         return Err(InvalidBlockError::MultipleParents {
-                            builder: self.builder,
+                            builder: self.inner.builder,
                             parents: (existing, *pred),
                         })
                     }
@@ -332,63 +426,89 @@ impl Block {
         match parent {
             Some(parent) => Ok(Some(parent)),
             None => Err(InvalidBlockError::MissingParent {
-                builder: self.builder,
-                seq: self.seq,
+                builder: self.inner.builder,
+                seq: self.inner.seq,
             }),
         }
     }
 
-    /// Size of this block on the wire, in bytes (used by the metrics plane).
+    /// Size of this block on the wire, in bytes. O(1): served from the
+    /// cached wire image, never by re-encoding.
     pub fn wire_len(&self) -> usize {
-        encode_to_vec(self).len()
+        self.inner.wire.len()
     }
 }
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Block) -> bool {
+        // The wire image is canonical: byte equality ⟺ field equality
+        // (including the signature). Pointer equality short-circuits the
+        // common shared-Arc case.
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.wire == other.inner.wire
+    }
+}
+
+impl Eq for Block {}
 
 impl fmt::Debug for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "Block({}/{} {} preds={} rs={})",
-            self.builder,
-            self.seq,
-            self.block_ref,
-            self.preds.len(),
-            self.requests.len()
+            self.inner.builder,
+            self.inner.seq,
+            self.inner.block_ref,
+            self.inner.preds.len(),
+            self.inner.requests.len()
         )
     }
 }
 
 impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}{}", self.builder, self.seq, self.block_ref)
+        write!(
+            f,
+            "{}/{}{}",
+            self.inner.builder, self.inner.seq, self.inner.block_ref
+        )
     }
 }
 
 impl WireEncode for Block {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.builder.encode(out);
-        self.seq.encode(out);
-        self.preds.encode(out);
-        self.requests.encode(out);
-        self.signature.encode(out);
+        // Encode-once: replay the cached canonical image.
+        out.extend_from_slice(&self.inner.wire);
     }
 }
 
 impl WireDecode for Block {
     fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let start = reader.position();
         let builder = ServerId::decode(reader)?;
         let seq = SeqNum::decode(reader)?;
         let preds = Vec::<BlockRef>::decode(reader)?;
         let requests = Vec::<LabeledRequest>::decode(reader)?;
+        let preimage_end = reader.position();
         let signature = Signature::decode(reader)?;
-        let block_ref = Self::compute_ref(builder, seq, &preds, &requests);
+        let end = reader.position();
+        // The codec is canonical (fixed-width integers, length-prefixed
+        // sequences), so the consumed input *is* the canonical encoding:
+        // hash it directly instead of re-encoding the fields, and retain it
+        // as the cached wire image (a zero-copy slice of the receive buffer
+        // when the reader is shared). A tampered byte lands in the hash —
+        // the cache can never vouch for bytes the signature doesn't.
+        let block_ref = BlockRef(sha256(reader.window(start, preimage_end)));
+        let wire = reader.bytes_between(start, end);
         Ok(Block {
-            builder,
-            seq,
-            preds,
-            requests,
-            signature,
-            block_ref,
+            inner: Arc::new(BlockInner {
+                builder,
+                seq,
+                preds,
+                requests,
+                signature,
+                block_ref,
+                wire,
+            }),
         })
     }
 }
@@ -396,7 +516,7 @@ impl WireDecode for Block {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dagbft_codec::decode_from_slice;
+    use dagbft_codec::{decode_from_bytes, decode_from_slice, encode_to_vec};
     use dagbft_crypto::KeyRegistry;
 
     fn registry() -> KeyRegistry {
@@ -504,6 +624,82 @@ mod tests {
         assert_eq!(decoded, block);
         assert_eq!(decoded.block_ref(), block.block_ref());
         assert!(decoded.verify_signature(&registry.verifier()));
+    }
+
+    #[test]
+    fn cached_wire_image_is_canonical_and_shared() {
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let block = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(Label::new(3), &7u64)],
+            &signer0,
+        );
+        // The cache equals a fresh field-by-field encoding.
+        assert_eq!(
+            block.wire_bytes().as_ref(),
+            encode_to_vec(&block).as_slice()
+        );
+        // Clones share the buffer (and the whole body) — no copies.
+        let clone = block.clone();
+        assert!(clone
+            .wire_bytes()
+            .shares_allocation_with(block.wire_bytes()));
+        // The signing preimage is the wire image minus the signature.
+        let preimage = block.signing_preimage();
+        assert_eq!(preimage.len(), block.wire_len() - Signature::SIZE);
+        assert!(preimage.shares_allocation_with(block.wire_bytes()));
+        assert_eq!(BlockRef(sha256(&preimage)), block.block_ref());
+    }
+
+    #[test]
+    fn decode_from_shared_buffer_slices_not_copies() {
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let block = Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(Label::new(1), &vec![9u8; 64])],
+            &signer0,
+        );
+        let buffer = Bytes::from(encode_to_vec(&block));
+        let decoded: Block = decode_from_bytes(&buffer).unwrap();
+        assert_eq!(decoded, block);
+        // The decoded block's wire image and request payloads are slices of
+        // the receive buffer — the zero-copy path.
+        assert!(decoded.wire_bytes().shares_allocation_with(&buffer));
+        assert!(decoded.requests()[0]
+            .payload
+            .shares_allocation_with(&buffer));
+    }
+
+    #[test]
+    fn canonical_encode_counter_ignores_sends() {
+        // The counter is process-global and other unit tests build blocks
+        // on parallel threads, so assert *deltas with slack*: a build adds
+        // at least one encode, and a large batch of re-encodes adds far
+        // fewer than one encode each (none from this thread; at most a few
+        // dozen from concurrent builds elsewhere).
+        const REENCODES: u64 = 100_000;
+        let registry = registry();
+        let signer0 = signer(&registry, 0);
+        let before_build = Block::canonical_encodes();
+        let block = Block::build(ServerId::new(0), SeqNum::ZERO, vec![], vec![], &signer0);
+        assert!(Block::canonical_encodes() > before_build);
+        let before_sends = Block::canonical_encodes();
+        // Re-encoding (what every send does) replays the cache: no new
+        // canonical encode, regardless of fan-out.
+        for _ in 0..REENCODES {
+            let _ = encode_to_vec(&block);
+        }
+        assert!(
+            Block::canonical_encodes() - before_sends < REENCODES,
+            "re-encoding must serve the cache, not re-serialize"
+        );
+        assert!(Block::canonical_encode_bytes() > 0);
     }
 
     #[test]

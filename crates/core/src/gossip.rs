@@ -18,10 +18,25 @@
 //! and return [`NetCommand`]s for the caller (simulator, tests, or a real
 //! event loop) to execute. Time is passed in explicitly and is only used to
 //! pace `FWD` retransmissions (the paper's timer `Δ_B'`).
+//!
+//! # Admission engines
+//!
+//! Buffered-block admission (the promotion of `blks` entries into `G`) has
+//! two interchangeable engines, selected by [`AdmissionMode`]:
+//!
+//! * [`AdmissionMode::Incremental`] (the default) maintains a reverse
+//!   dependency index — pending block → still-missing predecessors, missing
+//!   predecessor → waiting blocks — so admitting a burst of `B` buffered
+//!   blocks costs O(B · preds) map operations.
+//! * [`AdmissionMode::Scan`] is the paper-literal fixed-point rescan
+//!   (O(pending²) on adversarial orderings), retained as the equivalence
+//!   oracle: tests and the `report_wire` bench drive both engines with
+//!   identical hostile schedules and assert identical DAGs, promotion
+//!   orders, stats, and `FWD` traffic.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dagbft_codec::{encode_to_vec, DecodeError, Reader, WireDecode, WireEncode};
+use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
 use dagbft_crypto::{ServerId, Signer, Verifier};
 
 use crate::block::{Block, BlockRef, LabeledRequest, SeqNum};
@@ -31,6 +46,10 @@ use crate::TimeMs;
 
 /// The messages servers exchange: blocks, and forward requests for missing
 /// predecessor blocks (Algorithm 1).
+///
+/// Cloning is cheap by construction — a block is an `Arc`'d body with
+/// cached wire bytes — so fanning one message out to `n − 1` peers never
+/// deep-copies or re-encodes the block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetMessage {
     /// A block being disseminated (line 17) or forwarded (line 13).
@@ -40,24 +59,30 @@ pub enum NetMessage {
 }
 
 impl NetMessage {
-    /// Size of this message on the wire, in bytes.
+    /// Size of this message on the wire, in bytes. O(1): one discriminant
+    /// byte plus the cached payload length — no encoding happens.
     pub fn wire_len(&self) -> usize {
-        encode_to_vec(self).len()
+        let (_, payload) = self.payload_view();
+        1 + payload.len()
+    }
+
+    /// The message as `(discriminant, canonical payload bytes)` without
+    /// encoding anything: blocks expose their cached wire image,
+    /// references their digest bytes. Frame writers emit the discriminant
+    /// byte followed by the payload verbatim — the zero-copy send path.
+    pub fn payload_view(&self) -> (u8, &[u8]) {
+        match self {
+            NetMessage::Block(block) => (0, block.wire_bytes()),
+            NetMessage::FwdRequest(block_ref) => (1, block_ref.as_bytes()),
+        }
     }
 }
 
 impl WireEncode for NetMessage {
     fn encode(&self, out: &mut Vec<u8>) {
-        match self {
-            NetMessage::Block(block) => {
-                out.push(0);
-                block.encode(out);
-            }
-            NetMessage::FwdRequest(block_ref) => {
-                out.push(1);
-                block_ref.encode(out);
-            }
-        }
+        let (discriminant, payload) = self.payload_view();
+        out.push(discriminant);
+        out.extend_from_slice(payload);
     }
 }
 
@@ -92,6 +117,16 @@ pub enum NetCommand {
     },
 }
 
+/// Which engine admits buffered blocks into the DAG (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Reverse-dependency index: O(preds) bookkeeping per block.
+    #[default]
+    Incremental,
+    /// The paper-literal full rescan, kept as the equivalence oracle.
+    Scan,
+}
+
 /// Configuration for the gossip layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GossipConfig {
@@ -100,15 +135,25 @@ pub struct GossipConfig {
     /// Minimum time between repeated `FWD` requests for the same block
     /// (the paper's per-block wait `Δ_B'`, informed by the round-trip time).
     pub fwd_retry_ms: TimeMs,
+    /// The admission engine for buffered blocks.
+    pub admission: AdmissionMode,
 }
 
 impl GossipConfig {
-    /// Configuration for `n` servers with the default 100 ms `FWD` retry.
+    /// Configuration for `n` servers with the default 100 ms `FWD` retry
+    /// and incremental admission.
     pub fn for_n(n: usize) -> Self {
         GossipConfig {
             n,
             fwd_retry_ms: 100,
+            admission: AdmissionMode::default(),
         }
+    }
+
+    /// Selects the admission engine.
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
+        self
     }
 }
 
@@ -147,6 +192,15 @@ struct FwdState {
     attempts: u32,
 }
 
+/// A buffered, not-yet-valid block plus its admission bookkeeping.
+#[derive(Debug, Clone)]
+struct PendingBlock {
+    block: Block,
+    /// Predecessors not yet in the DAG (maintained by the incremental
+    /// engine; the scan engine recomputes promotability from the DAG).
+    missing: BTreeSet<BlockRef>,
+}
+
 /// The gossip module of Algorithm 1: builds the local DAG `G` and the
 /// current block `B`.
 ///
@@ -180,7 +234,10 @@ pub struct Gossip {
     /// here, line 18 re-initializes with the parent reference).
     current_preds: Vec<BlockRef>,
     /// The `blks` buffer of received, not-yet-valid blocks (line 3).
-    pending: BTreeMap<BlockRef, Block>,
+    pending: BTreeMap<BlockRef, PendingBlock>,
+    /// Reverse dependency index: missing predecessor → pending blocks
+    /// waiting on it (incremental engine only).
+    waiters: BTreeMap<BlockRef, BTreeSet<BlockRef>>,
     /// Missing predecessor → forward-request state.
     missing: BTreeMap<BlockRef, FwdState>,
     /// Blocks rejected as permanently invalid, with the reason — kept for
@@ -212,6 +269,7 @@ impl Gossip {
             next_seq: SeqNum::ZERO,
             current_preds: Vec::new(),
             pending: BTreeMap::new(),
+            waiters: BTreeMap::new(),
             missing: BTreeMap::new(),
             rejected: Vec::new(),
             stats: GossipStats::default(),
@@ -275,6 +333,7 @@ impl Gossip {
             next_seq,
             current_preds,
             pending: BTreeMap::new(),
+            waiters: BTreeMap::new(),
             missing: BTreeMap::new(),
             rejected: Vec::new(),
             stats: GossipStats::default(),
@@ -334,15 +393,27 @@ impl Gossip {
             self.stats.duplicate_blocks += 1;
             return Vec::new();
         }
-        self.pending.insert(block_ref, block);
-        self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
-        self.promote_pending();
-        self.refresh_missing();
+        match self.config.admission {
+            AdmissionMode::Incremental => self.admit_incremental(block_ref, block),
+            AdmissionMode::Scan => {
+                self.pending.insert(
+                    block_ref,
+                    PendingBlock {
+                        block,
+                        missing: BTreeSet::new(),
+                    },
+                );
+                self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
+                self.promote_pending_scan();
+                self.refresh_missing_scan();
+            }
+        }
         self.collect_fwd_commands(now)
     }
 
     /// Handles `FWD ref(B)` from `from`: if `B ∈ G`, send it back
-    /// (lines 12–13).
+    /// (lines 12–13). The reply shares the stored block's body and cached
+    /// wire bytes — no deep clone, no re-encode.
     pub fn on_fwd_request(&mut self, from: ServerId, block_ref: BlockRef) -> Vec<NetCommand> {
         self.stats.fwd_received += 1;
         match self.dag.get(&block_ref) {
@@ -365,7 +436,8 @@ impl Gossip {
 
     /// Seals and disseminates the current block with `requests` injected
     /// into `B.rs` (lines 14–18). Returns the built block and the broadcast
-    /// command.
+    /// command. The block is encoded exactly once (at build); the broadcast
+    /// command and the DAG share its body by reference count.
     pub fn disseminate(
         &mut self,
         requests: Vec<LabeledRequest>,
@@ -388,18 +460,128 @@ impl Gossip {
         (block, commands)
     }
 
+    /// Incremental admission: index the new block's missing predecessors,
+    /// or promote it — and cascade through its waiters — if none are
+    /// missing. Equivalent to the scan engine (see `promote_pending_scan`)
+    /// but costs O(preds · log) per block instead of a full-buffer rescan.
+    fn admit_incremental(&mut self, block_ref: BlockRef, block: Block) {
+        // The block is no longer wanted from the network: it is now either
+        // pending (indexed below) or about to be promoted.
+        self.missing.remove(&block_ref);
+        let missing: BTreeSet<BlockRef> = block
+            .preds()
+            .iter()
+            .filter(|p| !self.dag.contains(p))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            self.pending
+                .insert(block_ref, PendingBlock { block, missing });
+            self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
+            self.promote_cascade(block_ref);
+            return;
+        }
+        for pred in &missing {
+            self.waiters.entry(*pred).or_default().insert(block_ref);
+            // Request the predecessor from the network unless it is already
+            // buffered (then its own admission is what we're waiting for).
+            if !self.pending.contains_key(pred) {
+                self.missing
+                    .entry(*pred)
+                    .and_modify(|state| {
+                        state.candidates.insert(block.builder());
+                    })
+                    .or_insert_with(|| FwdState {
+                        candidates: BTreeSet::from([block.builder()]),
+                        last_sent: None,
+                        attempts: 0,
+                    });
+            }
+        }
+        self.pending
+            .insert(block_ref, PendingBlock { block, missing });
+        self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
+    }
+
+    /// Promotes `start` and every pending block its admission unblocks,
+    /// always taking the smallest ready reference first — the same
+    /// deterministic order the scan engine's min-first rescan produces.
+    fn promote_cascade(&mut self, start: BlockRef) {
+        let mut ready: BTreeSet<BlockRef> = BTreeSet::from([start]);
+        while let Some(block_ref) = ready.pop_first() {
+            let entry = self
+                .pending
+                .remove(&block_ref)
+                .expect("ready block pending");
+            match self.validate(&entry.block) {
+                Validity::Valid => {
+                    self.dag.insert(entry.block).expect("preds checked");
+                    // Line 8: B.preds := B.preds · [ref(B')]. Appending once
+                    // per block is Lemma A.6 (correct servers reference a
+                    // block at most once).
+                    self.current_preds.push(block_ref);
+                    self.stats.blocks_validated += 1;
+                    self.missing.remove(&block_ref);
+                    // Wake the waiters: drop the satisfied dependency and
+                    // queue any block that just became fully satisfied.
+                    if let Some(waiting) = self.waiters.remove(&block_ref) {
+                        for waiter in waiting {
+                            if let Some(pending) = self.pending.get_mut(&waiter) {
+                                pending.missing.remove(&block_ref);
+                                if pending.missing.is_empty() {
+                                    ready.insert(waiter);
+                                }
+                            }
+                        }
+                    }
+                }
+                Validity::Invalid(reason) => {
+                    self.stats.invalid_blocks += 1;
+                    self.rejected.push((block_ref, reason));
+                    self.missing.remove(&block_ref);
+                    // Blocks referencing the rejected block keep waiting
+                    // (its ref can never enter the DAG); it counts as
+                    // missing-from-the-network again, exactly as the scan
+                    // engine's rebuild would re-list it.
+                    if let Some(waiting) = self.waiters.get(&block_ref) {
+                        let candidates: BTreeSet<ServerId> = waiting
+                            .iter()
+                            .filter_map(|w| self.pending.get(w))
+                            .map(|p| p.block.builder())
+                            .collect();
+                        if !candidates.is_empty() {
+                            self.missing.insert(
+                                block_ref,
+                                FwdState {
+                                    candidates,
+                                    last_sent: None,
+                                    attempts: 0,
+                                },
+                            );
+                        }
+                    }
+                }
+                Validity::MissingPreds => {
+                    unreachable!("ready block had all preds in the DAG")
+                }
+            }
+        }
+    }
+
     /// Fixed-point promotion of pending blocks (lines 6–9): any buffered
     /// block whose predecessors are all in the DAG is validated; valid
-    /// blocks are inserted and referenced from the current block.
+    /// blocks are inserted and referenced from the current block. The
+    /// paper-literal engine, retained as the equivalence oracle.
     ///
     /// `pending` is an ordered map so the promotion order — and with it
     /// the pred-list order of the block under construction, which is
     /// hashed and signed — is a pure function of the received blocks,
     /// keeping whole-simulation runs bit-for-bit reproducible.
-    fn promote_pending(&mut self) {
+    fn promote_pending_scan(&mut self) {
         loop {
-            let candidate = self.pending.iter().find_map(|(r, block)| {
-                block
+            let candidate = self.pending.iter().find_map(|(r, pending)| {
+                pending
+                    .block
                     .preds()
                     .iter()
                     .all(|p| self.dag.contains(p))
@@ -408,13 +590,10 @@ impl Gossip {
             let Some(block_ref) = candidate else {
                 return;
             };
-            let block = self.pending.remove(&block_ref).expect("candidate pending");
-            match self.validate(&block) {
+            let entry = self.pending.remove(&block_ref).expect("candidate pending");
+            match self.validate(&entry.block) {
                 Validity::Valid => {
-                    self.dag.insert(block).expect("preds checked");
-                    // Line 8: B.preds := B.preds · [ref(B')]. Appending once
-                    // per block is Lemma A.6 (correct servers reference a
-                    // block at most once).
+                    self.dag.insert(entry.block).expect("preds checked");
                     self.current_preds.push(block_ref);
                     self.stats.blocks_validated += 1;
                     self.missing.remove(&block_ref);
@@ -458,16 +637,17 @@ impl Gossip {
     }
 
     /// Rebuilds the missing-predecessor index from the pending buffer
-    /// (line 10: `B ∈ B'.preds`, `B ∉ blks`, `B ∉ G`).
-    fn refresh_missing(&mut self) {
+    /// (line 10: `B ∈ B'.preds`, `B ∉ blks`, `B ∉ G`) — scan engine only;
+    /// the incremental engine maintains the index in place.
+    fn refresh_missing_scan(&mut self) {
         let mut still_missing: BTreeMap<BlockRef, BTreeSet<ServerId>> = BTreeMap::new();
-        for block in self.pending.values() {
-            for pred in block.preds() {
+        for pending in self.pending.values() {
+            for pred in pending.block.preds() {
                 if !self.dag.contains(pred) && !self.pending.contains_key(pred) {
                     still_missing
                         .entry(*pred)
                         .or_default()
-                        .insert(block.builder());
+                        .insert(pending.block.builder());
                 }
             }
         }
@@ -516,12 +696,22 @@ impl Gossip {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dagbft_codec::encode_to_vec;
     use dagbft_crypto::KeyRegistry;
 
     fn gossip_for(registry: &KeyRegistry, id: u32, n: usize) -> Gossip {
         Gossip::new(
             ServerId::new(id),
             GossipConfig::for_n(n),
+            registry.signer(ServerId::new(id)).unwrap(),
+            registry.verifier(),
+        )
+    }
+
+    fn gossip_for_mode(registry: &KeyRegistry, id: u32, n: usize, mode: AdmissionMode) -> Gossip {
+        Gossip::new(
+            ServerId::new(id),
+            GossipConfig::for_n(n).with_admission(mode),
             registry.signer(ServerId::new(id)).unwrap(),
             registry.verifier(),
         )
@@ -646,6 +836,26 @@ mod tests {
     }
 
     #[test]
+    fn fwd_reply_shares_the_stored_block_body() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let (bob_b0, _) = bob.disseminate(vec![], 0);
+        let answers = bob.on_fwd_request(ServerId::new(0), bob_b0.block_ref());
+        let NetCommand::SendTo {
+            message: NetMessage::Block(served),
+            ..
+        } = &answers[0]
+        else {
+            panic!("expected a block reply");
+        };
+        // Zero-copy reply: the served block's wire image is the same
+        // allocation the DAG holds.
+        assert!(served
+            .wire_bytes()
+            .shares_allocation_with(bob_b0.wire_bytes()));
+    }
+
+    #[test]
     fn fwd_retry_respects_interval() {
         let registry = KeyRegistry::generate(2, 1);
         let mut alice = gossip_for(&registry, 0, 2);
@@ -733,6 +943,9 @@ mod tests {
         ] {
             let bytes = encode_to_vec(&message);
             assert_eq!(bytes.len(), message.wire_len());
+            let (discriminant, payload) = message.payload_view();
+            assert_eq!(bytes[0], discriminant);
+            assert_eq!(&bytes[1..], payload);
             let decoded: NetMessage = dagbft_codec::decode_from_slice(&bytes).unwrap();
             assert_eq!(decoded, message);
         }
@@ -741,17 +954,106 @@ mod tests {
     #[test]
     fn out_of_order_chain_promotes_in_one_pass() {
         let registry = KeyRegistry::generate(2, 1);
-        let mut alice = gossip_for(&registry, 0, 2);
-        let mut bob = gossip_for(&registry, 1, 2);
-        let blocks: Vec<Block> = (0..5).map(|t| bob.disseminate(vec![], t).0).collect();
-        // Deliver in reverse order: everything buffers, then promotes at once.
-        for block in blocks.iter().rev().take(4) {
-            alice.on_block(block.clone(), 0);
+        for mode in [AdmissionMode::Incremental, AdmissionMode::Scan] {
+            let mut alice = gossip_for_mode(&registry, 0, 2, mode);
+            let mut bob = gossip_for(&registry, 1, 2);
+            let blocks: Vec<Block> = (0..5).map(|t| bob.disseminate(vec![], t).0).collect();
+            // Deliver in reverse order: everything buffers, then promotes at
+            // once.
+            for block in blocks.iter().rev().take(4) {
+                alice.on_block(block.clone(), 0);
+            }
+            assert_eq!(alice.dag().len(), 0);
+            alice.on_block(blocks[0].clone(), 1);
+            assert_eq!(alice.dag().len(), 5);
+            assert_eq!(alice.pending_len(), 0);
+            assert!(alice.dag().check_invariants());
         }
-        assert_eq!(alice.dag().len(), 0);
-        alice.on_block(blocks[0].clone(), 1);
-        assert_eq!(alice.dag().len(), 5);
-        assert_eq!(alice.pending_len(), 0);
-        assert!(alice.dag().check_invariants());
+    }
+
+    /// Drives both admission engines through the same hostile schedule and
+    /// asserts every observable — commands per delivery, DAG content *and
+    /// order*, pred list, stats, rejections — is identical.
+    fn assert_engines_agree(deliveries: &[(Block, TimeMs)], n: usize, registry: &KeyRegistry) {
+        let mut incremental = gossip_for_mode(registry, 0, n, AdmissionMode::Incremental);
+        let mut scan = gossip_for_mode(registry, 0, n, AdmissionMode::Scan);
+        for (block, at) in deliveries {
+            let a = incremental.on_block(block.clone(), *at);
+            let b = scan.on_block(block.clone(), *at);
+            assert_eq!(a, b, "commands diverged at t={at}");
+        }
+        let refs_inc: Vec<BlockRef> = incremental.dag().iter().map(|b| b.block_ref()).collect();
+        let refs_scan: Vec<BlockRef> = scan.dag().iter().map(|b| b.block_ref()).collect();
+        assert_eq!(refs_inc, refs_scan, "promotion order diverged");
+        assert_eq!(incremental.pending_len(), scan.pending_len());
+        assert_eq!(incremental.stats(), scan.stats());
+        assert_eq!(incremental.rejected(), scan.rejected());
+        let (own_inc, _) = incremental.disseminate(vec![], 1_000);
+        let (own_scan, _) = scan.disseminate(vec![], 1_000);
+        assert_eq!(own_inc, own_scan, "current block preds diverged");
+    }
+
+    #[test]
+    fn engines_agree_on_reverse_order_burst() {
+        let registry = KeyRegistry::generate(3, 1);
+        let mut bob = gossip_for(&registry, 1, 3);
+        let blocks: Vec<Block> = (0..12).map(|t| bob.disseminate(vec![], t).0).collect();
+        let deliveries: Vec<(Block, TimeMs)> = blocks
+            .iter()
+            .rev()
+            .enumerate()
+            .map(|(i, b)| (b.clone(), i as TimeMs))
+            .collect();
+        assert_engines_agree(&deliveries, 3, &registry);
+    }
+
+    #[test]
+    fn engines_agree_on_equivocation_with_invalid_children() {
+        let registry = KeyRegistry::generate(3, 1);
+        let signer1 = registry.signer(ServerId::new(1)).unwrap();
+        // Equivocating genesis pair…
+        let g_a = Block::build(ServerId::new(1), SeqNum::ZERO, vec![], vec![], &signer1);
+        let g_b = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(crate::Label::new(1), &9u8)],
+            &signer1,
+        );
+        // …an invalid child referencing both parents…
+        let two_parents = Block::build(
+            ServerId::new(1),
+            SeqNum::new(1),
+            vec![g_a.block_ref(), g_b.block_ref()],
+            vec![],
+            &signer1,
+        );
+        // …and a grandchild of the invalid block: can never promote, keeps
+        // FWD-ing the rejected ref.
+        let grandchild = Block::build(
+            ServerId::new(1),
+            SeqNum::new(2),
+            vec![two_parents.block_ref()],
+            vec![],
+            &signer1,
+        );
+        // Forged signature on a valid-shaped block, delivered out of order.
+        let forged = Block::build_with_signature(
+            ServerId::new(2),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            dagbft_crypto::Signature::NULL,
+        );
+        let deliveries: Vec<(Block, TimeMs)> = [
+            (grandchild, 0),
+            (two_parents, 1),
+            (forged, 2),
+            (g_b, 3),
+            (g_a, 4),
+        ]
+        .into_iter()
+        .collect();
+        assert_engines_agree(&deliveries, 3, &registry);
     }
 }

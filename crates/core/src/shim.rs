@@ -31,7 +31,7 @@ use dagbft_crypto::{KeyRegistry, ServerId};
 
 use crate::block::LabeledRequest;
 use crate::dag::BlockDag;
-use crate::gossip::{Gossip, GossipConfig, NetCommand, NetMessage};
+use crate::gossip::{AdmissionMode, Gossip, GossipConfig, NetCommand, NetMessage};
 use crate::interpret::{Indication, Interpreter, InterpreterFootprint};
 use crate::label::Label;
 use crate::protocol::{DeterministicProtocol, ProtocolConfig};
@@ -47,6 +47,8 @@ pub struct ShimConfig {
     /// Maximum number of buffered requests injected per block
     /// (`rqsts.get()` returns "a suitable number", Algorithm 3).
     pub max_requests_per_block: usize,
+    /// The gossip admission engine (see [`AdmissionMode`]).
+    pub admission: AdmissionMode,
 }
 
 impl ShimConfig {
@@ -56,6 +58,7 @@ impl ShimConfig {
             protocol,
             fwd_retry_ms: 100,
             max_requests_per_block: 1024,
+            admission: AdmissionMode::default(),
         }
     }
 
@@ -71,10 +74,17 @@ impl ShimConfig {
         self
     }
 
+    /// Selects the gossip admission engine.
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
+        self
+    }
+
     fn gossip(&self) -> GossipConfig {
         GossipConfig {
             n: self.protocol.n,
             fwd_retry_ms: self.fwd_retry_ms,
+            admission: self.admission,
         }
     }
 }

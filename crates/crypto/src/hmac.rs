@@ -126,7 +126,7 @@ mod tests {
         let key = [0x42; 64];
         // Must not equal the tag under the hashed key, which would indicate
         // the >64 path was taken erroneously.
-        let hashed_key = crate::sha256(&key);
+        let hashed_key = crate::sha256(key);
         assert_ne!(
             hmac_sha256(&key, b"m"),
             hmac_sha256(hashed_key.as_bytes(), b"m")

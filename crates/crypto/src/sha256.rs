@@ -204,9 +204,9 @@ impl Sha256 {
 ///     "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
 /// );
 /// ```
-pub fn sha256(data: &[u8]) -> Digest {
+pub fn sha256(data: impl AsRef<[u8]>) -> Digest {
     let mut hasher = Sha256::new();
-    hasher.update(data);
+    hasher.update(data.as_ref());
     hasher.finalize()
 }
 

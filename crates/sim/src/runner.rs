@@ -11,7 +11,8 @@
 use std::collections::HashMap;
 
 use dagbft_core::{
-    DeterministicProtocol, Label, NetCommand, NetMessage, ProtocolConfig, Shim, ShimConfig, TimeMs,
+    AdmissionMode, DeterministicProtocol, Label, NetCommand, NetMessage, ProtocolConfig, Shim,
+    ShimConfig, TimeMs,
 };
 use dagbft_crypto::{KeyRegistry, ServerId};
 use rand::rngs::StdRng;
@@ -60,6 +61,10 @@ pub struct SimConfig {
     pub roles: HashMap<usize, Role>,
     /// Cap on requests per block (Algorithm 3's `rqsts.get()`).
     pub max_requests_per_block: usize,
+    /// Gossip admission engine for every correct server (the scan engine
+    /// exists so whole-simulation equivalence can be asserted against the
+    /// incremental index — see `tests/cross_seed_determinism.rs`).
+    pub admission: AdmissionMode,
 }
 
 impl SimConfig {
@@ -77,6 +82,7 @@ impl SimConfig {
             network: NetworkModel::default(),
             roles: HashMap::new(),
             max_requests_per_block: 1024,
+            admission: AdmissionMode::default(),
         }
     }
 
@@ -113,6 +119,12 @@ impl SimConfig {
     /// Assigns a role to one server.
     pub fn with_role(mut self, server: usize, role: Role) -> Self {
         self.roles.insert(server, role);
+        self
+    }
+
+    /// Selects the gossip admission engine for all correct servers.
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -274,7 +286,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
     pub fn new(config: SimConfig) -> Self {
         let registry = KeyRegistry::generate(config.n, config.seed);
         let shim_config = ShimConfig::new(config.protocol)
-            .with_max_requests_per_block(config.max_requests_per_block);
+            .with_max_requests_per_block(config.max_requests_per_block)
+            .with_admission(config.admission);
         let mut servers = Vec::with_capacity(config.n);
         for index in 0..config.n {
             let role = config.roles.get(&index).cloned().unwrap_or(Role::Correct);
@@ -476,7 +489,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
         };
         let dag = dagbft_core::restore_dag(image).expect("own image restores");
         let shim_config = ShimConfig::new(self.config.protocol)
-            .with_max_requests_per_block(self.config.max_requests_per_block);
+            .with_max_requests_per_block(self.config.max_requests_per_block)
+            .with_admission(self.config.admission);
         let mut shim = Shim::recover(
             ServerId::new(server as u32),
             shim_config,
@@ -511,6 +525,9 @@ impl<P: DeterministicProtocol> Simulation<P> {
     fn send(&mut self, from: usize, to: usize, message: NetMessage, now: TimeMs) {
         let is_block = matches!(message, NetMessage::Block(_));
         let is_fwd = matches!(message, NetMessage::FwdRequest(_));
+        // `wire_len` is O(1) off the cached block bytes, and the message
+        // clone behind us (broadcast fan-out) was a reference-count bump —
+        // the simulated wire path never re-encodes a block.
         self.net.record_send(message.wire_len(), is_block, is_fwd);
         let dropped = self.config.network.drops(&mut self.rng, from, to, now);
         self.net.record_outcome(dropped);

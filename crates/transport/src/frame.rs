@@ -3,10 +3,18 @@
 //! Wire layout per frame: `u32` little-endian payload length, then the
 //! payload (a canonical [`dagbft_core::NetMessage`] encoding, or the
 //! 4-byte hello). A length cap protects receivers from hostile prefixes.
+//!
+//! [`NetMessage`]s get a dedicated zero-copy pair: [`write_net_message`]
+//! streams a block's cached wire bytes straight into the frame (no
+//! intermediate encode buffer), and [`read_net_message`] decodes the
+//! received frame as a shared buffer so the block's wire image and request
+//! payloads are slices of it rather than copies.
 
 use std::io::{self, Read, Write};
 
-use dagbft_codec::{decode_from_slice, encode_to_vec, WireDecode, WireEncode};
+use bytes::Bytes;
+use dagbft_codec::{decode_from_bytes, decode_from_slice, encode_to_vec, WireDecode, WireEncode};
+use dagbft_core::NetMessage;
 use dagbft_crypto::ServerId;
 
 /// Maximum accepted frame payload (16 MiB) — far above any legitimate
@@ -35,6 +43,13 @@ pub fn write_frame<W: Write, T: WireEncode>(writer: &mut W, value: &T) -> io::Re
 /// * [`io::ErrorKind::InvalidData`] for oversized frames or payloads that
 ///   fail to decode.
 pub fn read_frame<R: Read, T: WireDecode>(reader: &mut R) -> io::Result<T> {
+    let payload = read_payload(reader)?;
+    decode_from_slice(&payload)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+}
+
+/// Reads one frame's raw payload: length prefix, cap check, body.
+fn read_payload<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     let mut len_bytes = [0u8; 4];
     reader.read_exact(&mut len_bytes)?;
     let len = u32::from_le_bytes(len_bytes) as usize;
@@ -46,7 +61,42 @@ pub fn read_frame<R: Read, T: WireDecode>(reader: &mut R) -> io::Result<T> {
     }
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
-    decode_from_slice(&payload)
+    Ok(payload)
+}
+
+/// Writes one framed [`NetMessage`] without building an intermediate
+/// encode buffer: length prefix, discriminant byte, then the message's
+/// cached payload bytes verbatim (a block's canonical wire image, a
+/// forward request's digest). The encode-once fast path of the send loop.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_net_message<W: Write>(writer: &mut W, message: &NetMessage) -> io::Result<()> {
+    let len = message.wire_len() as u32;
+    let (discriminant, payload) = message.payload_view();
+    // One header write (length prefix + discriminant), one payload write —
+    // two syscalls per message on an unbuffered stream.
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&len.to_le_bytes());
+    header[4] = discriminant;
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one framed [`NetMessage`], decoding the payload as a *shared*
+/// buffer: a received block's wire image and request payloads are
+/// zero-copy slices of the frame allocation.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`].
+pub fn read_net_message<R: Read>(reader: &mut R) -> io::Result<NetMessage> {
+    // `Bytes::from(Vec)` moves the frame allocation; the decoded block's
+    // wire image and payloads are windows into it.
+    let payload = Bytes::from(read_payload(reader)?);
+    decode_from_bytes(&payload)
         .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
 }
 
@@ -120,5 +170,58 @@ mod tests {
         let mut cursor = io::Cursor::new(buffer);
         let err = read_frame::<_, Hello>(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    fn sample_block() -> dagbft_core::Block {
+        use dagbft_core::{Label, LabeledRequest, SeqNum};
+        use dagbft_crypto::KeyRegistry;
+        let registry = KeyRegistry::generate(1, 5);
+        let signer = registry.signer(ServerId::new(0)).unwrap();
+        dagbft_core::Block::build(
+            ServerId::new(0),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(Label::new(1), &7u64)],
+            &signer,
+        )
+    }
+
+    #[test]
+    fn net_message_fast_path_matches_generic_frame() {
+        let block = sample_block();
+        for message in [
+            NetMessage::Block(block.clone()),
+            NetMessage::FwdRequest(block.block_ref()),
+        ] {
+            let mut fast = Vec::new();
+            write_net_message(&mut fast, &message).unwrap();
+            let mut generic = Vec::new();
+            write_frame(&mut generic, &message).unwrap();
+            assert_eq!(fast, generic, "fast path must produce identical frames");
+
+            let mut cursor = io::Cursor::new(fast);
+            let decoded = read_net_message(&mut cursor).unwrap();
+            assert_eq!(decoded, message);
+        }
+    }
+
+    #[test]
+    fn read_net_message_rejects_oversized_and_garbage() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_net_message(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&1u32.to_le_bytes());
+        buffer.push(9); // invalid discriminant
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_net_message(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 }

@@ -11,7 +11,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dagbft_core::NetMessage;
 use dagbft_crypto::ServerId;
 
-use crate::frame::{read_frame, write_frame, Hello};
+use crate::frame::{read_net_message, write_frame, write_net_message, Hello};
 
 const POLL: Duration = Duration::from_millis(25);
 const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
@@ -172,12 +172,14 @@ fn reader_loop(
     }
     // The first frame authenticates nothing — it merely names the peer;
     // blocks carry their own signatures (Definition 3.3 (i)).
-    let from = match read_retry::<Hello>(&mut stream, &shutdown) {
+    let from = match read_retry(&mut stream, &shutdown, crate::frame::read_frame::<_, Hello>) {
         Some(hello) => hello.from,
         None => return,
     };
+    // Blocks decoded here slice the frame buffer (zero-copy receive):
+    // see `frame::read_net_message`.
     while !shutdown.load(Ordering::SeqCst) {
-        match read_retry::<NetMessage>(&mut stream, &shutdown) {
+        match read_retry(&mut stream, &shutdown, read_net_message) {
             Some(message) => {
                 if incoming_tx.send((from, message)).is_err() {
                     return;
@@ -188,16 +190,17 @@ fn reader_loop(
     }
 }
 
-/// Reads one frame, retrying on read timeouts until shutdown.
-fn read_retry<T: dagbft_codec::WireDecode>(
+/// Reads one frame via `read_one`, retrying on read timeouts until shutdown.
+fn read_retry<T>(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
+    read_one: impl Fn(&mut TcpStream) -> io::Result<T>,
 ) -> Option<T> {
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return None;
         }
-        match read_frame::<_, T>(stream) {
+        match read_one(stream) {
             Ok(value) => return Some(value),
             Err(err)
                 if err.kind() == io::ErrorKind::WouldBlock
@@ -228,12 +231,14 @@ fn sender_loop(
         if connection.is_none() {
             connection = connect_with_hello(me, peer, &shutdown);
         }
+        // The zero-copy write path: a block's cached wire bytes stream
+        // straight into the frame, no per-send re-encode.
         if let Some(stream) = connection.as_mut() {
-            if write_frame(stream, &message).is_err() {
+            if write_net_message(stream, &message).is_err() {
                 // Reconnect once and retry this message.
                 connection = connect_with_hello(me, peer, &shutdown);
                 if let Some(stream) = connection.as_mut() {
-                    if write_frame(stream, &message).is_err() {
+                    if write_net_message(stream, &message).is_err() {
                         connection = None;
                     }
                 }

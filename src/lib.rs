@@ -63,10 +63,10 @@ pub use dagbft_transport as transport;
 pub mod prelude {
     pub use dagbft_baseline::{BaselineConfig, BaselineSimulation, DirectInjection};
     pub use dagbft_core::{
-        Block, BlockDag, BlockRef, DeterministicProtocol, Envelope, Gossip, GossipConfig,
-        Indication, InterpretStats, Interpreter, InterpreterFootprint, Label, LabeledRequest,
-        NetCommand, NetMessage, Outbox, ProtocolConfig, ReferenceInterpreter, SeqNum, Shim,
-        ShimConfig, TimeMs,
+        AdmissionMode, Block, BlockDag, BlockRef, DeterministicProtocol, Envelope, Gossip,
+        GossipConfig, GossipStats, Indication, InterpretStats, Interpreter, InterpreterFootprint,
+        Label, LabeledRequest, NetCommand, NetMessage, Outbox, ProtocolConfig,
+        ReferenceInterpreter, SeqNum, Shim, ShimConfig, TimeMs,
     };
     pub use dagbft_crypto::{KeyRegistry, ServerId};
     pub use dagbft_protocols::{

@@ -2,14 +2,20 @@
 //! scheduler's core promise is that a `(SimConfig, injections)` pair
 //! fully determines the outcome. For several seeds, run the same
 //! `theorem_5_1`-style BRB workload twice and assert the outcomes are
-//! byte-identical — deliveries, wire metrics, crypto counters, and the
-//! final clock all included.
+//! byte-identical — deliveries, wire metrics, crypto counters, the final
+//! clock, and every block's canonical wire bytes all included.
+//!
+//! The same fingerprint also pins the zero-copy wire path refactor: a run
+//! under the incremental admission index is byte-identical to a run under
+//! the seed's scan-based engine ("before/after" equivalence at the
+//! whole-system level).
 
 use dagbft::prelude::*;
 
 /// Runs one BRB workload (three broadcasts across servers, lossy
-/// network) and fingerprints everything observable about the outcome.
-fn run_fingerprint(seed: u64) -> Vec<u8> {
+/// network) under the given admission engine and fingerprints everything
+/// observable about the outcome.
+fn run_fingerprint_with(seed: u64, admission: AdmissionMode) -> Vec<u8> {
     let n = 4;
     let values = [7u64, 1000 + seed, 13];
     let expected = values.len() * n;
@@ -17,6 +23,7 @@ fn run_fingerprint(seed: u64) -> Vec<u8> {
         .with_seed(seed)
         .with_max_time(120_000)
         .with_network(NetworkModel::default().with_drop_rate(0.05))
+        .with_admission(admission)
         .with_stop_after_deliveries(expected);
     let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
     for (i, value) in values.iter().enumerate() {
@@ -57,20 +64,31 @@ fn run_fingerprint(seed: u64) -> Vec<u8> {
         )
         .as_bytes(),
     );
-    // The DAGs themselves must agree too: canonical per-server encoding
-    // of every block each correct server holds.
+    // The DAGs themselves must agree too — down to the canonical wire
+    // bytes every block caches (which are what the network ever carries).
     for server in outcome.correct_servers() {
         if let Some(dag) = outcome.dag(server) {
             let mut refs: Vec<_> = dag.refs().copied().collect();
             refs.sort();
             fingerprint.extend_from_slice(format!("dag:{server}:{}\n", refs.len()).as_bytes());
             for r in refs {
+                let block = dag.get(&r).expect("listed ref present");
                 fingerprint.extend_from_slice(r.to_string().as_bytes());
+                fingerprint.push(b':');
+                fingerprint.extend_from_slice(
+                    dagbft::crypto::sha256(block.wire_bytes())
+                        .to_hex()
+                        .as_bytes(),
+                );
                 fingerprint.push(b'\n');
             }
         }
     }
     fingerprint
+}
+
+fn run_fingerprint(seed: u64) -> Vec<u8> {
+    run_fingerprint_with(seed, AdmissionMode::Incremental)
 }
 
 #[test]
@@ -89,4 +107,17 @@ fn different_seeds_give_different_schedules() {
     let a = run_fingerprint(2);
     let b = run_fingerprint(3);
     assert_ne!(a, b, "seeds 2 and 3 produced identical outcomes");
+}
+
+#[test]
+fn admission_engines_are_byte_identical_at_system_level() {
+    // "Before/after" proof for the incremental admission index: whole
+    // lossy simulations — deliveries, wire metrics, crypto counters, and
+    // every block's canonical bytes — are identical under the retained
+    // scan engine and the incremental one.
+    for seed in [0, 7, 42] {
+        let incremental = run_fingerprint_with(seed, AdmissionMode::Incremental);
+        let scan = run_fingerprint_with(seed, AdmissionMode::Scan);
+        assert_eq!(incremental, scan, "seed {seed}: engines diverged");
+    }
 }

@@ -1,8 +1,13 @@
 //! Lemma 3.6/3.7: eventual convergence of correct servers' DAGs — under
 //! clean networks, loss, and healed partitions (experiment E10's
-//! functional side).
+//! functional side) — plus the gossip-burst admission regression: the
+//! incremental reverse-dependency index must promote exactly what the
+//! seed's scan-based engine promotes, in the same deterministic order,
+//! on hostile out-of-order and equivocating deliveries.
 
 use dagbft::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 /// Runs a sim and returns per-correct-server DAG block counts plus the
 /// outcome.
@@ -135,6 +140,136 @@ fn all_dags_verify_invariants_after_chaos() {
             outcome.shim(index).dag().check_invariants(),
             "server {index} DAG invariants"
         );
+    }
+}
+
+/// Builds a hostile block soup: three builders × `rounds` rounds, each
+/// block referencing the whole previous round, plus an equivocation pair
+/// (builder 3, k = 0) and a child committing to both halves of it.
+fn hostile_soup(rounds: u64) -> (KeyRegistry, Vec<Block>) {
+    let registry = KeyRegistry::generate(4, 23);
+    let signers: Vec<_> = (1..4)
+        .map(|i| registry.signer(ServerId::new(i)).unwrap())
+        .collect();
+    let mut blocks = Vec::new();
+    let mut prev: Vec<BlockRef> = Vec::new();
+    for round in 0..rounds {
+        let mut layer = Vec::new();
+        for (index, signer) in signers.iter().enumerate() {
+            let requests = vec![LabeledRequest::encode(
+                Label::new(index as u64),
+                &(round * 10 + index as u64),
+            )];
+            let block = Block::build(
+                signer.id(),
+                SeqNum::new(round),
+                prev.clone(),
+                requests,
+                signer,
+            );
+            layer.push(block.block_ref());
+            blocks.push(block);
+        }
+        prev = layer;
+    }
+    // Equivocation: a second k=0 block by builder 3 with different content,
+    // and a k=1 child referencing *both* — permanently invalid
+    // (MultipleParents), so its own children can never promote either.
+    let signer3 = registry.signer(ServerId::new(3)).unwrap();
+    let equivocation = Block::build(
+        ServerId::new(3),
+        SeqNum::ZERO,
+        vec![],
+        vec![LabeledRequest::encode(Label::new(99), &1u8)],
+        &signer3,
+    );
+    let first_k0 = blocks[2].block_ref();
+    let two_parents = Block::build(
+        ServerId::new(3),
+        SeqNum::new(1),
+        vec![first_k0, equivocation.block_ref()],
+        vec![],
+        &signer3,
+    );
+    let orphan_child = Block::build(
+        ServerId::new(3),
+        SeqNum::new(2),
+        vec![two_parents.block_ref()],
+        vec![],
+        &signer3,
+    );
+    blocks.push(equivocation);
+    blocks.push(two_parents);
+    blocks.push(orphan_child);
+    (registry, blocks)
+}
+
+/// Replays `schedule` into a fresh receiver under `mode` and fingerprints
+/// everything admission-observable: per-delivery commands, DAG content in
+/// promotion order, pending/rejected sets, stats, and the pred list of the
+/// next own block (which is hashed and signed — determinism boundary).
+fn admission_fingerprint(
+    registry: &KeyRegistry,
+    schedule: &[Block],
+    mode: AdmissionMode,
+) -> (
+    Vec<NetCommand>,
+    Vec<BlockRef>,
+    usize,
+    usize,
+    GossipStats,
+    Block,
+) {
+    let mut receiver = Gossip::new(
+        ServerId::new(0),
+        GossipConfig::for_n(4).with_admission(mode),
+        registry.signer(ServerId::new(0)).unwrap(),
+        registry.verifier(),
+    );
+    let mut commands = Vec::new();
+    for (t, block) in schedule.iter().enumerate() {
+        commands.extend(receiver.on_block(block.clone(), t as u64));
+    }
+    let order: Vec<BlockRef> = receiver.dag().iter().map(|b| b.block_ref()).collect();
+    let pending = receiver.pending_len();
+    let rejected = receiver.rejected().len();
+    let stats = *receiver.stats();
+    let (own, _) = receiver.disseminate(vec![], 10_000);
+    (commands, order, pending, rejected, stats, own)
+}
+
+#[test]
+fn gossip_burst_admission_matches_scan_engine() {
+    let (registry, blocks) = hostile_soup(6);
+    let reversed: Vec<Block> = blocks.iter().rev().cloned().collect();
+    let mut schedules = vec![("reverse", reversed)];
+    for seed in [1u64, 7, 42] {
+        let mut shuffled = blocks.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        schedules.push(("shuffled", shuffled));
+    }
+    for (name, schedule) in schedules {
+        let incremental = admission_fingerprint(&registry, &schedule, AdmissionMode::Incremental);
+        let scan = admission_fingerprint(&registry, &schedule, AdmissionMode::Scan);
+        assert_eq!(
+            incremental.0, scan.0,
+            "{name}: FWD/command traffic diverged"
+        );
+        assert_eq!(incremental.1, scan.1, "{name}: promotion order diverged");
+        assert_eq!(incremental.2, scan.2, "{name}: pending buffer diverged");
+        assert_eq!(incremental.3, scan.3, "{name}: rejections diverged");
+        assert_eq!(incremental.4, scan.4, "{name}: stats diverged");
+        // The sealed next block — whose bytes are hashed and signed — is
+        // bit-identical, so the engines are indistinguishable on the wire.
+        assert_eq!(
+            incremental.5.wire_bytes(),
+            scan.5.wire_bytes(),
+            "{name}: own block bytes diverged"
+        );
+        // The permanently-invalid chain stays buffered/rejected, never
+        // promoted, under both engines.
+        assert_eq!(incremental.3, 1, "{name}: the two-parent block is rejected");
+        assert_eq!(incremental.2, 1, "{name}: its child stays pending forever");
     }
 }
 

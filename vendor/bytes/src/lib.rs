@@ -6,47 +6,91 @@
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable slice of bytes.
 ///
-/// Backed by `Arc<[u8]>`: `clone` is a reference-count bump, never a
+/// Backed by `Arc<Vec<u8>>` plus an `(offset, len)` window: `clone` is a
+/// reference-count bump, [`Bytes::slice`] produces a sub-view sharing the
+/// same allocation, and `From<Vec<u8>>` *moves* the vector in — never a
 /// copy of the payload.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes::from_static(b"")
+        Bytes::from(Vec::new())
     }
 
-    /// Wraps a static byte slice (no allocation beyond the `Arc`).
+    /// Copies a static byte slice into a buffer.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: bytes.into() }
+        Bytes::copy_from_slice(bytes)
     }
 
     /// Copies `data` into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Returns `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a sub-view of `self` for the given range **without copying**:
+    /// the returned `Bytes` shares the backing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice [{start}, {end}) out of bounds of {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Returns `true` if `self` and `other` are views into the same backing
+    /// allocation (regardless of window) — the observable "zero-copy" fact.
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
@@ -60,25 +104,30 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data: data.into() }
+        // A move, not a copy: the vector becomes the backing allocation.
+        Bytes {
+            len: data.len(),
+            data: Arc::new(data),
+            offset: 0,
+        }
     }
 }
 
@@ -100,22 +149,50 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+// Equality, ordering, and hashing are over the *visible window*, not the
+// backing allocation, so a zero-copy slice compares equal to a fresh copy.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.as_ref() == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.as_ref() == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &byte in self.data.iter() {
+        for &byte in self.as_slice() {
             if byte.is_ascii_graphic() || byte == b' ' {
                 write!(f, "{}", byte as char)?;
             } else {
@@ -145,6 +222,54 @@ mod tests {
         let a = Bytes::from(vec![1, 2, 3]);
         let b = a.clone();
         assert_eq!(a, b);
+        assert!(a.shares_allocation_with(&b));
         assert_eq!(format!("{a:?}"), "b\"\\x01\\x02\\x03\"");
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = Bytes::from(b"hello world".to_vec());
+        let hello = a.slice(0..5);
+        let world = a.slice(6..);
+        assert_eq!(hello.as_ref(), b"hello");
+        assert_eq!(world.as_ref(), b"world");
+        assert!(hello.shares_allocation_with(&a));
+        assert!(world.shares_allocation_with(&a));
+        // A slice of a slice still shares the original allocation.
+        let ell = hello.slice(1..4);
+        assert_eq!(ell.as_ref(), b"ell");
+        assert!(ell.shares_allocation_with(&a));
+    }
+
+    #[test]
+    fn slice_compares_equal_to_copy() {
+        let a = Bytes::from(b"abcdef".to_vec());
+        let sliced = a.slice(2..5);
+        let copied = Bytes::copy_from_slice(b"cde");
+        assert_eq!(sliced, copied);
+        assert!(!sliced.shares_allocation_with(&copied));
+        use std::collections::hash_map::DefaultHasher;
+        let hash = |b: &Bytes| {
+            let mut h = DefaultHasher::new();
+            b.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&sliced), hash(&copied));
+        assert_eq!(sliced.cmp(&copied), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn full_and_empty_slices() {
+        let a = Bytes::from(b"xy".to_vec());
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(1..1).is_empty());
+        assert_eq!(a.slice(..=0).as_ref(), b"x");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from(b"xy".to_vec());
+        let _ = a.slice(1..3);
     }
 }
