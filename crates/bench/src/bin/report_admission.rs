@@ -1,0 +1,525 @@
+//! Admission-pipeline experiment: wave-batched signature verification
+//! and the parallel admission engine on hostile block bursts.
+//!
+//! Two measurements, both seeded and deterministic in structure:
+//!
+//! 1. **Batched verification** — `N` signed `ref(B)` digests checked
+//!    three ways: the *cold* per-call path (rebuilding the HMAC key
+//!    schedule per verification, exactly what admission paid before this
+//!    pipeline existed), the hoisted single-verify path (cached key
+//!    schedules), and one `BatchVerifier` pass. The `--check` floor pins
+//!    the batched path at ≥2× over cold on the 2048-item row — the
+//!    paper's batch-signature economics (§4, experiment E6) made
+//!    measurable.
+//! 2. **Hostile burst admission** — a 1–4k-block burst (three honest
+//!    chains, an equivocating pair, a permanently invalid two-parent
+//!    child with a stranded descendant, and a tampered-signature flood)
+//!    delivered in reverse and shuffled order to fresh gossip instances
+//!    under all three [`AdmissionMode`]s. Every run fingerprints the
+//!    promotion order, stats, rejections, pending set, and the next own
+//!    block's wire bytes; the engines must agree bit-for-bit (asserted
+//!    every run, re-validated by `--check`).
+//!
+//! The final stdout line is a single machine-readable JSON object
+//! (`BENCH_admission.json` is a checked-in snapshot from a fixed-seed
+//! run). `--check` re-runs everything, enforces the floors, and diffs the
+//! JSON schema against the committed snapshot — so the bench trajectory
+//! cannot silently rot.
+//!
+//! Run with: `cargo run --release -p dagbft-bench --bin report_admission`
+
+use std::time::Instant;
+
+use dagbft_bench::{check_snapshot_schema, f2};
+use dagbft_core::{
+    AdmissionMode, Block, BlockRef, Gossip, GossipConfig, Label, LabeledRequest, SeqNum,
+};
+use dagbft_crypto::{sha256, Digest, KeyRegistry, ServerId, Signature, SignedDigest};
+
+const SEED: u64 = 11;
+/// Worker threads for the parallel engine — small on purpose: CI runners
+/// have few cores, and determinism must not depend on the count anyway.
+const WORKERS: usize = 4;
+/// Repetitions of the verification micro-measurement (wall-clock noise).
+const VERIFY_ROUNDS: usize = 8;
+
+fn gossip(registry: &KeyRegistry, id: u32, n: usize, mode: AdmissionMode) -> Gossip {
+    Gossip::new(
+        ServerId::new(id),
+        GossipConfig::for_n(n).with_admission(mode),
+        registry.signer(ServerId::new(id)).unwrap(),
+        registry.verifier(),
+    )
+}
+
+/// Deterministic Fisher–Yates over a xorshift64 stream (same scheme as
+/// `report_wire`): hostile but reproducible delivery order.
+fn shuffle<T>(items: &mut [T], mut state: u64) {
+    for i in (1..items.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state as usize) % (i + 1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement 1: batched verification vs per-block verify.
+
+struct VerifyRow {
+    items: usize,
+    cold_seconds: f64,
+    hoisted_seconds: f64,
+    batch_seconds: f64,
+}
+
+impl VerifyRow {
+    fn speedup_batch_vs_cold(&self) -> f64 {
+        self.cold_seconds / self.batch_seconds
+    }
+
+    fn speedup_batch_vs_hoisted(&self) -> f64 {
+        self.hoisted_seconds / self.batch_seconds
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"items\":{},\"cold_seconds\":{:.6},\"hoisted_seconds\":{:.6},\
+             \"batch_seconds\":{:.6},\"speedup_batch_vs_cold\":{:.2},\
+             \"speedup_batch_vs_hoisted\":{:.2}}}",
+            self.items,
+            self.cold_seconds,
+            self.hoisted_seconds,
+            self.batch_seconds,
+            self.speedup_batch_vs_cold(),
+            self.speedup_batch_vs_hoisted(),
+        )
+    }
+}
+
+/// Builds `items` signed digests (one signer per 4 servers, round-robin,
+/// every 16th signature tampered so both paths exercise the reject arm)
+/// and times the three verification paths over identical inputs.
+fn measure_verify(items: usize) -> VerifyRow {
+    let registry = KeyRegistry::generate(4, SEED);
+    let signers: Vec<_> = (0..4)
+        .map(|i| registry.signer(ServerId::new(i)).unwrap())
+        .collect();
+    let batch: Vec<SignedDigest> = (0..items)
+        .map(|i| {
+            let signer = &signers[i % signers.len()];
+            let digest = sha256((i as u64).to_le_bytes());
+            let signature = if i % 16 == 5 {
+                Signature::NULL
+            } else {
+                signer.sign(digest.as_bytes())
+            };
+            SignedDigest {
+                claimed: signer.id(),
+                digest,
+                signature,
+            }
+        })
+        .collect();
+    let verifier = registry.verifier();
+    let batch_verifier = registry.batch_verifier();
+
+    // Best-of-rounds: scheduler/allocator interference only ever *adds*
+    // time, so the minimum is the low-variance estimator of each path's
+    // structural cost — what CI floors need to compare reliably.
+    let time = |f: &mut dyn FnMut() -> Vec<bool>| -> (f64, Vec<bool>) {
+        let mut verdicts = f(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..VERIFY_ROUNDS {
+            let start = Instant::now();
+            verdicts = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, verdicts)
+    };
+
+    let (cold_seconds, cold) = time(&mut || {
+        batch
+            .iter()
+            .map(|i| verifier.verify_cold(i.claimed, i.digest.as_bytes(), &i.signature))
+            .collect()
+    });
+    let (hoisted_seconds, hoisted) = time(&mut || {
+        batch
+            .iter()
+            .map(|i| verifier.verify(i.claimed, i.digest.as_bytes(), &i.signature))
+            .collect()
+    });
+    let (batch_seconds, batched) = time(&mut || batch_verifier.verify_batch(&batch));
+
+    // All three paths are the same function.
+    assert_eq!(cold, hoisted, "cold and hoisted verdicts diverged");
+    assert_eq!(cold, batched, "single and batched verdicts diverged");
+    assert_eq!(
+        cold.iter().filter(|ok| !**ok).count(),
+        items.div_ceil(16).min(items),
+        "tampered share must be rejected"
+    );
+
+    VerifyRow {
+        items,
+        cold_seconds,
+        hoisted_seconds,
+        batch_seconds,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement 2: hostile burst admission across the three engines.
+
+/// Builds a hostile burst of roughly `target` blocks: three honest
+/// builders in chained rounds, an equivocating `k = 0` pair for builder 3
+/// with a permanently invalid two-parent child and a stranded grandchild,
+/// plus a tampered-signature flood (one forged block per 16 honest ones).
+fn hostile_burst(target: usize) -> (KeyRegistry, Vec<Block>) {
+    let registry = KeyRegistry::generate(5, SEED);
+    let signers: Vec<_> = (1..4)
+        .map(|i| registry.signer(ServerId::new(i)).unwrap())
+        .collect();
+    let rounds = target / 3;
+    let mut blocks = Vec::new();
+    let mut prev: Vec<BlockRef> = Vec::new();
+    for round in 0..rounds as u64 {
+        let mut layer = Vec::new();
+        for (index, signer) in signers.iter().enumerate() {
+            let requests = vec![LabeledRequest::encode(
+                Label::new(index as u64),
+                &(round * 10 + index as u64),
+            )];
+            let block = Block::build(
+                signer.id(),
+                SeqNum::new(round),
+                prev.clone(),
+                requests,
+                signer,
+            );
+            layer.push(block.block_ref());
+            blocks.push(block);
+        }
+        prev = layer;
+        if round % 16 == 3 {
+            // Tampered flood: a correctly shaped block whose signature can
+            // never verify. Admission must reject it — in a batch with its
+            // honest round-mates.
+            blocks.push(Block::build_with_signature(
+                ServerId::new(4),
+                SeqNum::new(round),
+                prev.clone(),
+                vec![LabeledRequest::encode(Label::new(777), &round)],
+                Signature::NULL,
+            ));
+        }
+    }
+    // Equivocating pair + permanently invalid child + stranded grandchild
+    // (same shape the convergence suite pins).
+    let signer3 = registry.signer(ServerId::new(3)).unwrap();
+    let equivocation = Block::build(
+        ServerId::new(3),
+        SeqNum::ZERO,
+        vec![],
+        vec![LabeledRequest::encode(Label::new(99), &1u8)],
+        &signer3,
+    );
+    let first_k0 = blocks[2].block_ref();
+    let two_parents = Block::build(
+        ServerId::new(3),
+        SeqNum::new(1),
+        vec![first_k0, equivocation.block_ref()],
+        vec![],
+        &signer3,
+    );
+    let stranded = Block::build(
+        ServerId::new(3),
+        SeqNum::new(2),
+        vec![two_parents.block_ref()],
+        vec![],
+        &signer3,
+    );
+    blocks.push(equivocation);
+    blocks.push(two_parents);
+    blocks.push(stranded);
+    (registry, blocks)
+}
+
+/// Replays `schedule` into a fresh receiver under `mode`; returns
+/// `(seconds, fingerprint, waves, largest_wave)`. The fingerprint hashes
+/// everything admission-observable: promotion order, stats, rejections,
+/// pending set, and the wire bytes of the next own block (which are
+/// hashed and signed — the determinism boundary).
+fn run_burst(
+    registry: &KeyRegistry,
+    schedule: &[Block],
+    mode: AdmissionMode,
+) -> (f64, Digest, u64, usize) {
+    let mut receiver = gossip(registry, 0, 5, mode);
+    let start = Instant::now();
+    for (t, block) in schedule.iter().enumerate() {
+        receiver.on_block(block.clone(), t as u64);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    let mut transcript: Vec<u8> = Vec::new();
+    for block in receiver.dag().iter() {
+        transcript.extend_from_slice(block.block_ref().as_bytes());
+    }
+    transcript.extend_from_slice(format!("{:?}", receiver.stats()).as_bytes());
+    transcript.extend_from_slice(format!("{:?}", receiver.rejected()).as_bytes());
+    transcript.extend_from_slice(format!("pending:{}", receiver.pending_len()).as_bytes());
+    let (own, _) = receiver.disseminate(vec![], 1_000_000);
+    transcript.extend_from_slice(own.wire_bytes());
+    let waves = receiver.wave_stats().waves;
+    let largest = receiver.wave_stats().largest_wave;
+    (seconds, sha256(&transcript), waves, largest)
+}
+
+struct BurstRow {
+    blocks: usize,
+    order: &'static str,
+    scan_blocks_per_sec: f64,
+    index_blocks_per_sec: f64,
+    parallel_blocks_per_sec: f64,
+    fingerprint: String,
+    waves: u64,
+    largest_wave: usize,
+}
+
+impl BurstRow {
+    fn index_speedup(&self) -> f64 {
+        self.index_blocks_per_sec / self.scan_blocks_per_sec
+    }
+
+    fn parallel_over_index(&self) -> f64 {
+        self.parallel_blocks_per_sec / self.index_blocks_per_sec
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"blocks\":{},\"order\":\"{}\",\"scan_blocks_per_sec\":{:.2},\
+             \"index_blocks_per_sec\":{:.2},\"parallel_blocks_per_sec\":{:.2},\
+             \"index_speedup\":{:.2},\"parallel_over_index\":{:.2},\
+             \"fingerprint\":\"{}\",\"waves\":{},\"largest_wave\":{}}}",
+            self.blocks,
+            self.order,
+            self.scan_blocks_per_sec,
+            self.index_blocks_per_sec,
+            self.parallel_blocks_per_sec,
+            self.index_speedup(),
+            self.parallel_over_index(),
+            self.fingerprint,
+            self.waves,
+            self.largest_wave,
+        )
+    }
+}
+
+fn measure_burst(target: usize, order: &'static str) -> BurstRow {
+    let (registry, blocks) = hostile_burst(target);
+    let mut schedule: Vec<Block> = blocks.iter().rev().cloned().collect();
+    if order == "shuffled" {
+        schedule = blocks.clone();
+        shuffle(&mut schedule, SEED ^ target as u64);
+    }
+    let delivered = schedule.len();
+
+    let (scan_seconds, scan_fp, scan_waves, _) =
+        run_burst(&registry, &schedule, AdmissionMode::Scan);
+    let (index_seconds, index_fp, waves, largest_wave) =
+        run_burst(&registry, &schedule, AdmissionMode::Index);
+    let (parallel_seconds, parallel_fp, parallel_waves, parallel_largest) = run_burst(
+        &registry,
+        &schedule,
+        AdmissionMode::Parallel { workers: WORKERS },
+    );
+
+    // Cross-engine equivalence, pinned the PR-3 way: bit-identical
+    // fingerprints over everything observable.
+    assert_eq!(scan_fp, index_fp, "{target} {order}: scan vs index");
+    assert_eq!(index_fp, parallel_fp, "{target} {order}: index vs parallel");
+    assert_eq!(scan_waves, 0, "the scan oracle never batches");
+    assert_eq!(
+        (waves, largest_wave),
+        (parallel_waves, parallel_largest),
+        "wave structure is scheduling-independent"
+    );
+
+    BurstRow {
+        blocks: delivered,
+        order,
+        scan_blocks_per_sec: delivered as f64 / scan_seconds,
+        index_blocks_per_sec: delivered as f64 / index_seconds,
+        parallel_blocks_per_sec: delivered as f64 / parallel_seconds,
+        fingerprint: index_fp.to_hex()[..16].to_owned(),
+        waves,
+        largest_wave,
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn run() -> (Vec<VerifyRow>, Vec<BurstRow>, String) {
+    let verify: Vec<VerifyRow> = [512usize, 2048, 4096]
+        .into_iter()
+        .map(measure_verify)
+        .collect();
+    let burst: Vec<BurstRow> = [
+        (1024, "reverse"),
+        (2048, "reverse"),
+        (4096, "reverse"),
+        (1024, "shuffled"),
+        (2048, "shuffled"),
+        (4096, "shuffled"),
+    ]
+    .into_iter()
+    .map(|(blocks, order)| measure_burst(blocks, order))
+    .collect();
+
+    let json = format!(
+        "{{\"experiment\":\"admission_pipeline\",\"seed\":{},\"workers\":{},\
+         \"verify\":[{}],\"burst\":[{}]}}",
+        SEED,
+        WORKERS,
+        verify
+            .iter()
+            .map(VerifyRow::json)
+            .collect::<Vec<_>>()
+            .join(","),
+        burst
+            .iter()
+            .map(BurstRow::json)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    (verify, burst, json)
+}
+
+fn check(verify: &[VerifyRow], burst: &[BurstRow], json: &str) -> Result<(), String> {
+    // The batched-verification floor from the issue: ≥2× over per-block
+    // (cold) verify on the 2k burst. The measured ratio is comfortably
+    // higher; the floor guards the key-schedule hoisting and the batch
+    // fast path against regressions.
+    let row_2k = verify
+        .iter()
+        .find(|row| row.items == 2048)
+        .ok_or("no 2048-item verify row")?;
+    if row_2k.speedup_batch_vs_cold() < 2.0 {
+        return Err(format!(
+            "2048 items: batch speedup {:.2} below the 2x floor",
+            row_2k.speedup_batch_vs_cold()
+        ));
+    }
+    for row in verify {
+        if row.cold_seconds <= 0.0 || row.hoisted_seconds <= 0.0 || row.batch_seconds <= 0.0 {
+            return Err(format!("{} items: zero wall-clock", row.items));
+        }
+        // Batching must stay in the same cost class as the hoisted
+        // per-call path (same key schedules, minus per-call dispatch):
+        // the two are within a few percent structurally, so a generous
+        // floor here only catches a real regression of the batch path,
+        // not runner noise.
+        if row.speedup_batch_vs_hoisted() < 0.75 {
+            return Err(format!(
+                "{} items: batch far slower than hoisted single verify ({:.2}x)",
+                row.items,
+                row.speedup_batch_vs_hoisted()
+            ));
+        }
+    }
+    for row in burst {
+        if row.scan_blocks_per_sec <= 0.0
+            || row.index_blocks_per_sec <= 0.0
+            || row.parallel_blocks_per_sec <= 0.0
+        {
+            return Err(format!(
+                "burst {} ({}): zero throughput",
+                row.blocks, row.order
+            ));
+        }
+        if row.waves == 0 || row.largest_wave < 2 {
+            return Err(format!(
+                "burst {} ({}): no wave batching observed (waves {}, largest {})",
+                row.blocks, row.order, row.waves, row.largest_wave
+            ));
+        }
+        if row.fingerprint.is_empty() {
+            return Err(format!(
+                "burst {} ({}): missing equivalence fingerprint",
+                row.blocks, row.order
+            ));
+        }
+    }
+    check_snapshot_schema("BENCH_admission.json", json)
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+
+    println!("# Admission pipeline — wave-batched verification + parallel engine (seed {SEED})\n");
+    let (verify, burst, json) = run();
+
+    println!(
+        "| {:>6} | {:>9} | {:>11} | {:>9} | {:>13} | {:>16} |",
+        "items", "cold ms", "hoisted ms", "batch ms", "batch/cold", "batch/hoisted"
+    );
+    println!("|{}|", "-".repeat(81));
+    for row in &verify {
+        println!(
+            "| {:>6} | {:>9} | {:>11} | {:>9} | {:>12}x | {:>15}x |",
+            row.items,
+            f2(row.cold_seconds * 1000.0),
+            f2(row.hoisted_seconds * 1000.0),
+            f2(row.batch_seconds * 1000.0),
+            f2(row.speedup_batch_vs_cold()),
+            f2(row.speedup_batch_vs_hoisted()),
+        );
+    }
+
+    println!(
+        "\n| {:>6} | {:>8} | {:>10} | {:>11} | {:>12} | {:>7} | {:>6} | {:>8} |",
+        "blocks", "order", "scan b/s", "index b/s", "parallel b/s", "idx spd", "waves", "max wave"
+    );
+    println!("|{}|", "-".repeat(92));
+    for row in &burst {
+        println!(
+            "| {:>6} | {:>8} | {:>10} | {:>11} | {:>12} | {:>6}x | {:>6} | {:>8} |",
+            row.blocks,
+            row.order,
+            f2(row.scan_blocks_per_sec),
+            f2(row.index_blocks_per_sec),
+            f2(row.parallel_blocks_per_sec),
+            f2(row.index_speedup()),
+            row.waves,
+            row.largest_wave,
+        );
+    }
+
+    println!(
+        "\nReading: hoisting the HMAC key schedules and verifying each ready\n\
+         wave in one batch pass removes the per-verification key setup that\n\
+         per-message BFT systems pay on every protocol message — the paper's\n\
+         batch-signature argument (§4/E6) as a measured trajectory. The burst\n\
+         rows pin all three admission engines to bit-identical promotion\n\
+         fingerprints on equivocating, tampered-signature, out-of-order\n\
+         floods; the parallel engine spreads the same verification work\n\
+         across a worker pool without changing a single byte of outcome\n\
+         (and, on these narrow chain-shaped waves, without beating the\n\
+         single-threaded batch — see parallel_over_index).\n"
+    );
+
+    // Machine-readable trajectory line (snapshot: BENCH_admission.json).
+    println!("{json}");
+
+    if check_mode {
+        match check(&verify, &burst, &json) {
+            Ok(()) => println!("CHECK OK"),
+            Err(reason) => {
+                eprintln!("CHECK FAILED: {reason}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -10,13 +10,18 @@
 //!
 //! The final stdout line is a single machine-readable JSON object with
 //! every row (`BENCH_interpret.json` is a checked-in snapshot of it from
-//! a fixed-seed run).
+//! a fixed-seed run). `--check` re-runs the experiment and validates the
+//! trajectory: schema identity against the committed snapshot, non-zero
+//! counters, visible copy-on-write sharing on every row, and a ≥2×
+//! CoW-over-naive wall-clock floor on the largest DAG (the measured gap
+//! is two orders of magnitude; the floor only guards against the sharing
+//! path silently degrading to clone-per-block).
 //!
 //! Run with: `cargo run --release -p dagbft-bench --bin report_interpret`
 
 use std::time::Instant;
 
-use dagbft_bench::{build_offline_dag, f2};
+use dagbft_bench::{build_offline_dag, check_snapshot_schema, f2};
 use dagbft_core::{Interpreter, InterpreterFootprint, ReferenceInterpreter};
 use dagbft_protocols::Brb;
 
@@ -93,7 +98,35 @@ fn measure(rounds: u64, labels: usize) -> Row {
     }
 }
 
+fn check(rows: &[Row], json: &str) -> Result<(), String> {
+    for row in rows {
+        if row.seconds <= 0.0 || row.naive_seconds <= 0.0 {
+            return Err(format!("{} blocks: zero wall-clock", row.blocks));
+        }
+        if row.messages_materialized == 0 {
+            return Err(format!("{} blocks: no messages materialized", row.blocks));
+        }
+        if row.footprint.unique_instances >= row.footprint.instances {
+            return Err(format!(
+                "{} blocks: no structural sharing ({} unique of {})",
+                row.blocks, row.footprint.unique_instances, row.footprint.instances
+            ));
+        }
+    }
+    let largest = rows.iter().max_by_key(|r| r.blocks).expect("rows exist");
+    let speedup = largest.naive_seconds / largest.seconds;
+    if speedup < 2.0 {
+        return Err(format!(
+            "{} blocks: CoW speedup {speedup:.2} below the 2x floor",
+            largest.blocks
+        ));
+    }
+    check_snapshot_schema("BENCH_interpret.json", json)
+}
+
 fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+
     println!("# E8 — off-line interpretation throughput + CoW sharing (BRB, n = 4)\n");
     println!(
         "| {:>7} | {:>6} | {:>9} | {:>10} | {:>10} | {:>10} | {:>9} | {:>9} | {:>7} |",
@@ -145,8 +178,19 @@ fn main() {
 
     // Machine-readable trajectory line (snapshot: BENCH_interpret.json).
     let json_rows: Vec<String> = rows.iter().map(Row::json).collect();
-    println!(
+    let json = format!(
         "{{\"experiment\":\"interpret_offline\",\"protocol\":\"brb\",\"n\":4,\"rows\":[{}]}}",
         json_rows.join(",")
     );
+    println!("{json}");
+
+    if check_mode {
+        match check(&rows, &json) {
+            Ok(()) => println!("CHECK OK"),
+            Err(reason) => {
+                eprintln!("CHECK FAILED: {reason}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

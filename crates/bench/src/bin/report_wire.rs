@@ -23,10 +23,9 @@
 //!
 //! Run with: `cargo run --release -p dagbft-bench --bin report_wire`
 
-use std::collections::BTreeSet;
 use std::time::Instant;
 
-use dagbft_bench::f2;
+use dagbft_bench::{check_snapshot_schema, f2};
 use dagbft_codec::WireEncode;
 use dagbft_core::{
     AdmissionMode, Block, BlockRef, Gossip, GossipConfig, Label, LabeledRequest, NetMessage, SeqNum,
@@ -214,7 +213,7 @@ fn run_admission(
 
 fn measure_burst(blocks: usize, order: &'static str) -> BurstRow {
     let registry = KeyRegistry::generate(2, SEED);
-    let mut builder = gossip(&registry, 1, 2, AdmissionMode::Incremental);
+    let mut builder = gossip(&registry, 1, 2, AdmissionMode::Index);
     let chain: Vec<Block> = (0..blocks)
         .map(|t| builder.disseminate(vec![], t as u64).0)
         .collect();
@@ -225,7 +224,7 @@ fn measure_burst(blocks: usize, order: &'static str) -> BurstRow {
     }
 
     let (incremental_seconds, incremental_order) =
-        run_admission(&registry, &schedule, AdmissionMode::Incremental);
+        run_admission(&registry, &schedule, AdmissionMode::Index);
     let (scan_seconds, scan_order) = run_admission(&registry, &schedule, AdmissionMode::Scan);
     assert_eq!(
         incremental_order, scan_order,
@@ -273,28 +272,6 @@ fn run() -> (Vec<BroadcastRow>, Vec<BurstRow>, String) {
     (broadcast, burst, json)
 }
 
-/// Every distinct `"key":` token of a JSON string — a cheap structural
-/// schema for snapshot diffing (no JSON parser in the tree).
-fn json_keys(json: &str) -> BTreeSet<String> {
-    let mut keys = BTreeSet::new();
-    let bytes = json.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            if let Some(end) = json[i + 1..].find('"') {
-                let end = i + 1 + end;
-                if bytes.get(end + 1) == Some(&b':') {
-                    keys.insert(json[i + 1..end].to_owned());
-                }
-                i = end + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    keys
-}
-
 fn check(broadcast: &[BroadcastRow], burst: &[BurstRow], json: &str) -> Result<(), String> {
     for row in broadcast {
         if (row.encodes_per_block - 1.0).abs() > f64::EPSILON {
@@ -321,16 +298,7 @@ fn check(broadcast: &[BroadcastRow], burst: &[BurstRow], json: &str) -> Result<(
             ));
         }
     }
-    let snapshot = std::fs::read_to_string("BENCH_wire.json")
-        .map_err(|e| format!("BENCH_wire.json unreadable: {e}"))?;
-    let expected = json_keys(&snapshot);
-    let actual = json_keys(json);
-    if expected != actual {
-        return Err(format!(
-            "JSON schema drifted from BENCH_wire.json: snapshot keys {expected:?}, run keys {actual:?}"
-        ));
-    }
-    Ok(())
+    check_snapshot_schema("BENCH_wire.json", json)
 }
 
 fn main() {

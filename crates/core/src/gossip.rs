@@ -22,22 +22,39 @@
 //! # Admission engines
 //!
 //! Buffered-block admission (the promotion of `blks` entries into `G`) has
-//! two interchangeable engines, selected by [`AdmissionMode`]:
+//! three interchangeable engines, selected by [`AdmissionMode`]:
 //!
-//! * [`AdmissionMode::Incremental`] (the default) maintains a reverse
+//! * [`AdmissionMode::Index`] (the default) maintains a reverse
 //!   dependency index — pending block → still-missing predecessors, missing
 //!   predecessor → waiting blocks — so admitting a burst of `B` buffered
-//!   blocks costs O(B · preds) map operations.
+//!   blocks costs O(B · preds) map operations. Each *wave* of
+//!   simultaneously ready blocks is signature-checked in one
+//!   [`BatchVerifier`] pass over the cached `ref(B)` digests, amortizing
+//!   the per-verification key setup (the paper's batch-signature economics,
+//!   §4/E6).
+//! * [`AdmissionMode::Parallel`] is the index engine with each wave's
+//!   batched verification split across a fixed pool of worker threads
+//!   over crossbeam channels. The split is synchronous — promotion waits
+//!   for all verdicts — so it pays off only when waves are wide enough
+//!   for multi-core verification to beat the single-threaded batch (per
+//!   chunk dispatch costs a channel round-trip; on the narrow waves of
+//!   chain-shaped bursts the `Index` engine is faster). Verdicts are
+//!   reassembled in submission order before any state changes, so
+//!   promotion order — and every byte that is later hashed and signed —
+//!   is identical to the sequential engines regardless of worker
+//!   scheduling.
 //! * [`AdmissionMode::Scan`] is the paper-literal fixed-point rescan
-//!   (O(pending²) on adversarial orderings), retained as the equivalence
-//!   oracle: tests and the `report_wire` bench drive both engines with
+//!   (O(pending²) on adversarial orderings) with one signature check per
+//!   candidate, retained as the equivalence oracle: tests and the
+//!   `report_wire`/`report_admission` benches drive all engines with
 //!   identical hostile schedules and assert identical DAGs, promotion
 //!   orders, stats, and `FWD` traffic.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crossbeam::channel::{Receiver, Sender};
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
-use dagbft_crypto::{ServerId, Signer, Verifier};
+use dagbft_crypto::{BatchVerifier, ServerId, SignedDigest, Signer, Verifier};
 
 use crate::block::{Block, BlockRef, LabeledRequest, SeqNum};
 use crate::dag::BlockDag;
@@ -120,11 +137,28 @@ pub enum NetCommand {
 /// Which engine admits buffered blocks into the DAG (see the module docs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum AdmissionMode {
-    /// Reverse-dependency index: O(preds) bookkeeping per block.
+    /// Reverse-dependency index with wave-batched signature verification:
+    /// O(preds) bookkeeping per block, one `BatchVerifier` pass per ready
+    /// wave.
     #[default]
-    Incremental,
+    Index,
     /// The paper-literal full rescan, kept as the equivalence oracle.
     Scan,
+    /// The index engine with wave verification split across a worker
+    /// pool (`workers` threads, clamped to at least 1); wins over
+    /// [`AdmissionMode::Index`] only on wide waves (see the module docs).
+    /// Promotion order is byte-identical to the sequential engines.
+    Parallel {
+        /// Number of verification worker threads.
+        workers: usize,
+    },
+}
+
+impl AdmissionMode {
+    /// Parallel admission with `workers` verification threads.
+    pub fn parallel(workers: usize) -> Self {
+        AdmissionMode::Parallel { workers }
+    }
 }
 
 /// Configuration for the gossip layer.
@@ -196,9 +230,121 @@ struct FwdState {
 #[derive(Debug, Clone)]
 struct PendingBlock {
     block: Block,
-    /// Predecessors not yet in the DAG (maintained by the incremental
-    /// engine; the scan engine recomputes promotability from the DAG).
+    /// Predecessors not yet in the DAG (maintained by the index engines;
+    /// the scan engine recomputes promotability from the DAG).
     missing: BTreeSet<BlockRef>,
+}
+
+/// Counters for the wave-batched verification pipeline (index engines
+/// only; the scan oracle verifies per candidate and leaves these zero).
+///
+/// Deliberately *not* part of [`GossipStats`]: that struct is asserted
+/// equal across admission engines by the equivalence tests, and waves are
+/// an implementation property of the batched engines, not an observable
+/// of Algorithm 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Verification waves batched so far.
+    pub waves: u64,
+    /// Blocks signature-checked through batched waves.
+    pub batched_blocks: u64,
+    /// Size of the largest wave.
+    pub largest_wave: usize,
+}
+
+impl WaveStats {
+    fn record(&mut self, wave: usize) {
+        self.waves += 1;
+        self.batched_blocks += wave as u64;
+        self.largest_wave = self.largest_wave.max(wave);
+    }
+}
+
+/// A verification chunk sent to the worker pool: `(slot, items)`.
+type VerifyJob = (usize, Vec<SignedDigest>);
+/// A worker's verdicts for one chunk: `(slot, per-item results)`.
+type VerifyVerdicts = (usize, Vec<bool>);
+
+/// A fixed pool of signature-verification workers fed over crossbeam
+/// channels ([`AdmissionMode::Parallel`]).
+///
+/// The event-loop thread splits a wave into at most `workers` contiguous
+/// chunks, the pool verifies them concurrently (each worker runs
+/// [`BatchVerifier::verify_batch`] on whole chunks), and verdicts are
+/// reassembled by chunk slot — the output is a pure function of the input
+/// order, never of thread scheduling.
+#[derive(Debug)]
+struct VerifyPool {
+    /// `Some` until drop; taken so workers see the channel close.
+    jobs: Option<Sender<VerifyJob>>,
+    verdicts: Receiver<VerifyVerdicts>,
+    workers: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl VerifyPool {
+    fn new(workers: usize, verifier: &BatchVerifier) -> Self {
+        let workers = workers.max(1);
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<VerifyJob>();
+        let (verdict_tx, verdict_rx) = crossbeam::channel::unbounded::<VerifyVerdicts>();
+        let handles = (0..workers)
+            .map(|_| {
+                let jobs = job_rx.clone();
+                let verdicts = verdict_tx.clone();
+                let verifier = verifier.clone();
+                std::thread::spawn(move || {
+                    while let Ok((slot, items)) = jobs.recv() {
+                        if verdicts
+                            .send((slot, verifier.verify_batch(&items)))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        VerifyPool {
+            jobs: Some(job_tx),
+            verdicts: verdict_rx,
+            workers,
+            handles,
+        }
+    }
+
+    /// Verifies `items` across the pool; verdicts come back in item order.
+    fn verify(&self, items: &[SignedDigest]) -> Vec<bool> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let jobs = self.jobs.as_ref().expect("pool alive");
+        let chunk_len = items.len().div_ceil(self.workers);
+        let mut slots = 0;
+        for (slot, chunk) in items.chunks(chunk_len).enumerate() {
+            jobs.send((slot, chunk.to_vec())).expect("workers alive");
+            slots += 1;
+        }
+        let mut by_slot: Vec<Option<Vec<bool>>> = vec![None; slots];
+        for _ in 0..slots {
+            let (slot, verdicts) = self.verdicts.recv().expect("workers alive");
+            by_slot[slot] = Some(verdicts);
+        }
+        by_slot
+            .into_iter()
+            .map(|chunk| chunk.expect("every slot answered"))
+            .collect::<Vec<_>>()
+            .concat()
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        // Closing the job channel is the shutdown signal.
+        self.jobs = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// The gossip module of Algorithm 1: builds the local DAG `G` and the
@@ -244,6 +390,11 @@ pub struct Gossip {
     /// auditing (the paper notes accountability as an extension, §6).
     rejected: Vec<(BlockRef, InvalidBlockError)>,
     stats: GossipStats,
+    /// Wave-batched verification (index engines).
+    batch_verifier: BatchVerifier,
+    /// Worker pool, present only in [`AdmissionMode::Parallel`].
+    pool: Option<VerifyPool>,
+    wave_stats: WaveStats,
 }
 
 /// Result of the validity checks of Definition 3.3 against the current DAG.
@@ -260,6 +411,7 @@ impl Gossip {
     /// Creates a gossip instance for server `me`.
     pub fn new(me: ServerId, config: GossipConfig, signer: Signer, verifier: Verifier) -> Self {
         debug_assert_eq!(signer.id(), me);
+        let (batch_verifier, pool) = Self::verification_engine(config.admission, &verifier);
         Gossip {
             me,
             config,
@@ -273,7 +425,24 @@ impl Gossip {
             missing: BTreeMap::new(),
             rejected: Vec::new(),
             stats: GossipStats::default(),
+            batch_verifier,
+            pool,
+            wave_stats: WaveStats::default(),
         }
+    }
+
+    /// Builds the admission-mode-specific verification machinery: the
+    /// batch handle always, the worker pool only for parallel admission.
+    fn verification_engine(
+        admission: AdmissionMode,
+        verifier: &Verifier,
+    ) -> (BatchVerifier, Option<VerifyPool>) {
+        let batch_verifier = verifier.batch();
+        let pool = match admission {
+            AdmissionMode::Parallel { workers } => Some(VerifyPool::new(workers, &batch_verifier)),
+            AdmissionMode::Index | AdmissionMode::Scan => None,
+        };
+        (batch_verifier, pool)
     }
 
     /// Resumes gossip from a persisted DAG after a crash (§7
@@ -324,6 +493,7 @@ impl Gossip {
                 current_preds.push(*block_ref);
             }
         }
+        let (batch_verifier, pool) = Self::verification_engine(config.admission, &verifier);
         Gossip {
             me,
             config,
@@ -337,6 +507,9 @@ impl Gossip {
             missing: BTreeMap::new(),
             rejected: Vec::new(),
             stats: GossipStats::default(),
+            batch_verifier,
+            pool,
+            wave_stats: WaveStats::default(),
         }
     }
 
@@ -353,6 +526,11 @@ impl Gossip {
     /// Activity counters.
     pub fn stats(&self) -> &GossipStats {
         &self.stats
+    }
+
+    /// Wave-batched verification counters (zero under the scan oracle).
+    pub fn wave_stats(&self) -> &WaveStats {
+        &self.wave_stats
     }
 
     /// Number of buffered, not-yet-valid blocks.
@@ -394,7 +572,9 @@ impl Gossip {
             return Vec::new();
         }
         match self.config.admission {
-            AdmissionMode::Incremental => self.admit_incremental(block_ref, block),
+            AdmissionMode::Index | AdmissionMode::Parallel { .. } => {
+                self.admit_indexed(block_ref, block)
+            }
             AdmissionMode::Scan => {
                 self.pending.insert(
                     block_ref,
@@ -460,11 +640,11 @@ impl Gossip {
         (block, commands)
     }
 
-    /// Incremental admission: index the new block's missing predecessors,
-    /// or promote it — and cascade through its waiters — if none are
+    /// Indexed admission: index the new block's missing predecessors, or
+    /// promote it — and cascade through its waiters — if none are
     /// missing. Equivalent to the scan engine (see `promote_pending_scan`)
     /// but costs O(preds · log) per block instead of a full-buffer rescan.
-    fn admit_incremental(&mut self, block_ref: BlockRef, block: Block) {
+    fn admit_indexed(&mut self, block_ref: BlockRef, block: Block) {
         // The block is no longer wanted from the network: it is now either
         // pending (indexed below) or about to be promoted.
         self.missing.remove(&block_ref);
@@ -506,14 +686,32 @@ impl Gossip {
     /// Promotes `start` and every pending block its admission unblocks,
     /// always taking the smallest ready reference first — the same
     /// deterministic order the scan engine's min-first rescan produces.
+    ///
+    /// Verification is pipelined in *waves*: whenever the front of the
+    /// ready set has no signature verdict yet, every not-yet-verified
+    /// ready block is checked in one [`BatchVerifier`] pass (fanned across
+    /// the worker pool under [`AdmissionMode::Parallel`]). Verdicts are a
+    /// pure per-block function of cached bytes, so pre-computing them in
+    /// batches cannot change any promotion decision — only amortize its
+    /// cost; each ready block is still verified exactly once, like the
+    /// sequential engines.
     fn promote_cascade(&mut self, start: BlockRef) {
         let mut ready: BTreeSet<BlockRef> = BTreeSet::from([start]);
-        while let Some(block_ref) = ready.pop_first() {
+        // `Some(ok)` — batch-verified; `None` — no signature check needed
+        // (unknown builder: `validate_with` rejects before the signature,
+        // exactly as the per-block engines never reach the verifier).
+        let mut verdicts: BTreeMap<BlockRef, Option<bool>> = BTreeMap::new();
+        while let Some(front) = ready.first() {
+            if !verdicts.contains_key(front) {
+                self.verify_wave(&ready, &mut verdicts);
+            }
+            let block_ref = ready.pop_first().expect("front exists");
+            let verdict = verdicts.remove(&block_ref).expect("wave verified front");
             let entry = self
                 .pending
                 .remove(&block_ref)
                 .expect("ready block pending");
-            match self.validate(&entry.block) {
+            match self.validate_with(&entry.block, verdict) {
                 Validity::Valid => {
                     self.dag.insert(entry.block).expect("preds checked");
                     // Line 8: B.preds := B.preds · [ref(B')]. Appending once
@@ -610,17 +808,65 @@ impl Gossip {
         }
     }
 
+    /// Batch-verifies the signatures of every ready block that has no
+    /// verdict yet — one wave, one `BatchVerifier` pass (split across the
+    /// worker pool in parallel mode). Blocks claiming an unknown builder
+    /// are marked `None`: the per-block engines reject those before ever
+    /// reaching the verifier, so batching must not verify them either (it
+    /// would skew the shared verification counters).
+    fn verify_wave(
+        &mut self,
+        ready: &BTreeSet<BlockRef>,
+        verdicts: &mut BTreeMap<BlockRef, Option<bool>>,
+    ) {
+        let mut wave: Vec<BlockRef> = Vec::new();
+        let mut items: Vec<SignedDigest> = Vec::new();
+        for block_ref in ready {
+            if verdicts.contains_key(block_ref) {
+                continue;
+            }
+            let block = &self.pending[block_ref].block;
+            if block.builder().index() >= self.config.n {
+                verdicts.insert(*block_ref, None);
+            } else {
+                wave.push(*block_ref);
+                items.push(block.signed_digest());
+            }
+        }
+        if items.is_empty() {
+            return;
+        }
+        self.wave_stats.record(items.len());
+        let results = match &self.pool {
+            Some(pool) => pool.verify(&items),
+            None => self.batch_verifier.verify_batch(&items),
+        };
+        debug_assert_eq!(results.len(), wave.len());
+        for (block_ref, ok) in wave.into_iter().zip(results) {
+            verdicts.insert(block_ref, Some(ok));
+        }
+    }
+
     /// The checks of Definition 3.3 for a block whose predecessors are all
     /// present (condition (iii) — "all preds valid" — then holds because
     /// only valid blocks enter the DAG).
     fn validate(&self, block: &Block) -> Validity {
+        self.validate_with(block, None)
+    }
+
+    /// [`Gossip::validate`] with an optionally pre-computed signature
+    /// verdict: `Some` uses the wave batch's result, `None` verifies
+    /// inline. The check *order* is identical either way — the builder
+    /// bound is decided before the signature is consulted.
+    fn validate_with(&self, block: &Block, sig_verdict: Option<bool>) -> Validity {
         if block.builder().index() >= self.config.n {
             return Validity::Invalid(InvalidBlockError::UnknownBuilder {
                 claimed: block.builder(),
             });
         }
         // (i) verify(B.n, B.σ).
-        if !block.verify_signature(&self.verifier) {
+        let sig_ok = sig_verdict.unwrap_or_else(|| block.verify_signature(&self.verifier));
+        if !sig_ok {
             return Validity::Invalid(InvalidBlockError::BadSignature {
                 claimed: block.builder(),
             });
@@ -951,10 +1197,17 @@ mod tests {
         }
     }
 
+    /// Every admission engine, for mode-spanning tests.
+    const ALL_MODES: [AdmissionMode; 3] = [
+        AdmissionMode::Index,
+        AdmissionMode::Scan,
+        AdmissionMode::Parallel { workers: 2 },
+    ];
+
     #[test]
     fn out_of_order_chain_promotes_in_one_pass() {
         let registry = KeyRegistry::generate(2, 1);
-        for mode in [AdmissionMode::Incremental, AdmissionMode::Scan] {
+        for mode in ALL_MODES {
             let mut alice = gossip_for_mode(&registry, 0, 2, mode);
             let mut bob = gossip_for(&registry, 1, 2);
             let blocks: Vec<Block> = (0..5).map(|t| bob.disseminate(vec![], t).0).collect();
@@ -971,26 +1224,49 @@ mod tests {
         }
     }
 
-    /// Drives both admission engines through the same hostile schedule and
-    /// asserts every observable — commands per delivery, DAG content *and
-    /// order*, pred list, stats, rejections — is identical.
+    /// Drives all three admission engines through the same hostile
+    /// schedule and asserts every observable — commands per delivery, DAG
+    /// content *and order*, pred list, stats, rejections — is identical.
     fn assert_engines_agree(deliveries: &[(Block, TimeMs)], n: usize, registry: &KeyRegistry) {
-        let mut incremental = gossip_for_mode(registry, 0, n, AdmissionMode::Incremental);
-        let mut scan = gossip_for_mode(registry, 0, n, AdmissionMode::Scan);
+        let mut engines: Vec<Gossip> = ALL_MODES
+            .iter()
+            .map(|mode| gossip_for_mode(registry, 0, n, *mode))
+            .collect();
         for (block, at) in deliveries {
-            let a = incremental.on_block(block.clone(), *at);
-            let b = scan.on_block(block.clone(), *at);
-            assert_eq!(a, b, "commands diverged at t={at}");
+            let commands: Vec<Vec<NetCommand>> = engines
+                .iter_mut()
+                .map(|engine| engine.on_block(block.clone(), *at))
+                .collect();
+            for other in &commands[1..] {
+                assert_eq!(&commands[0], other, "commands diverged at t={at}");
+            }
         }
-        let refs_inc: Vec<BlockRef> = incremental.dag().iter().map(|b| b.block_ref()).collect();
-        let refs_scan: Vec<BlockRef> = scan.dag().iter().map(|b| b.block_ref()).collect();
-        assert_eq!(refs_inc, refs_scan, "promotion order diverged");
-        assert_eq!(incremental.pending_len(), scan.pending_len());
-        assert_eq!(incremental.stats(), scan.stats());
-        assert_eq!(incremental.rejected(), scan.rejected());
-        let (own_inc, _) = incremental.disseminate(vec![], 1_000);
-        let (own_scan, _) = scan.disseminate(vec![], 1_000);
-        assert_eq!(own_inc, own_scan, "current block preds diverged");
+        let reference = &engines[0];
+        let refs: Vec<BlockRef> = reference.dag().iter().map(|b| b.block_ref()).collect();
+        for other in &engines[1..] {
+            let other_refs: Vec<BlockRef> = other.dag().iter().map(|b| b.block_ref()).collect();
+            assert_eq!(refs, other_refs, "promotion order diverged");
+            assert_eq!(reference.pending_len(), other.pending_len());
+            assert_eq!(reference.stats(), other.stats());
+            assert_eq!(reference.rejected(), other.rejected());
+        }
+        // The index engines batch every signature they check (every
+        // promoted or rejected block except unknown-builder rejects, which
+        // never reach the verifier); the scan oracle never batches.
+        assert!(engines[0].wave_stats().batched_blocks >= engines[0].stats().blocks_validated);
+        assert!(
+            engines[0].wave_stats().batched_blocks
+                <= engines[0].stats().blocks_validated + engines[0].stats().invalid_blocks
+        );
+        assert_eq!(engines[1].wave_stats(), &WaveStats::default());
+        assert_eq!(engines[0].wave_stats(), engines[2].wave_stats());
+        let own: Vec<Block> = engines
+            .iter_mut()
+            .map(|engine| engine.disseminate(vec![], 1_000).0)
+            .collect();
+        for other in &own[1..] {
+            assert_eq!(&own[0], other, "current block preds diverged");
+        }
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub use accountability::EquivocationProof;
 pub use block::{Block, BlockRef, LabeledRequest, SeqNum};
 pub use dag::BlockDag;
 pub use error::{DagError, InvalidBlockError};
-pub use gossip::{AdmissionMode, Gossip, GossipConfig, GossipStats, NetCommand, NetMessage};
+pub use gossip::{
+    AdmissionMode, Gossip, GossipConfig, GossipStats, NetCommand, NetMessage, WaveStats,
+};
 pub use interpret::{Indication, InterpretStats, Interpreter, InterpreterFootprint};
 pub use label::Label;
 pub use protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig};

@@ -75,6 +75,14 @@ impl ShimConfig {
     }
 
     /// Selects the gossip admission engine.
+    ///
+    /// [`AdmissionMode::Parallel`] gives this server a private
+    /// verification worker pool: each admission wave's signature checks
+    /// are split across the pool's threads. [`Shim::on_message`] still
+    /// waits for the verdicts, so this wins only when waves are wide
+    /// enough for multi-core verification to beat the default
+    /// single-threaded batch. All engines are byte-equivalent in every
+    /// observable.
     pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
         self.admission = admission;
         self

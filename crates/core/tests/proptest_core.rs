@@ -6,14 +6,20 @@
 //! * reference-once — correct servers reference each received block
 //!   exactly once (Lemma A.6), regardless of arrival order;
 //! * block wire fuzz — arbitrary bytes never panic the block decoder;
+//! * tampered-wave rejection — a delivery wave containing one
+//!   forged-signature block rejects exactly that block, promotes every
+//!   honest block not depending on it, and leaves its dependents pending,
+//!   identically under all three admission engines;
 //! * encode-once cache — a block's cached wire bytes are bit-identical to
 //!   a fresh field-by-field encoding across build → encode → decode
 //!   round-trips, `ref(B)` from the cached preimage equals the recomputed
 //!   reference, and tampered bytes fail validation instead of being
 //!   vouched for by the cache.
 
-use dagbft_core::{Block, Gossip, GossipConfig, Label, LabeledRequest, NetMessage, SeqNum};
-use dagbft_crypto::{KeyRegistry, ServerId};
+use dagbft_core::{
+    AdmissionMode, Block, Gossip, GossipConfig, Label, LabeledRequest, NetMessage, SeqNum,
+};
+use dagbft_crypto::{KeyRegistry, ServerId, Signature};
 use proptest::prelude::*;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -95,6 +101,82 @@ proptest! {
         // (Lemma A.6), as a set.
         prop_assert_eq!(refs_a.len(), blocks.len());
         prop_assert_eq!(refs_a, refs_b);
+    }
+
+    #[test]
+    fn tampered_block_in_wave_rejected_exactly(
+        builders in 2usize..5,
+        rounds in 2u64..5,
+        tamper in 0usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut blocks = block_soup(builders, rounds, true);
+        let tamper = tamper % blocks.len();
+        // Forge the signature of one block. `ref(B)` excludes `σ`
+        // (Definition 3.1), so the twin keeps the reference its
+        // dependents committed to — the wave sees a correctly shaped,
+        // badly signed block.
+        let victim = &blocks[tamper];
+        let forged = Block::build_with_signature(
+            victim.builder(),
+            victim.seq(),
+            victim.preds().to_vec(),
+            victim.requests().to_vec(),
+            Signature::NULL,
+        );
+        prop_assert_eq!(forged.block_ref(), victim.block_ref());
+        let forged_ref = forged.block_ref();
+        blocks[tamper] = forged;
+
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+
+        // Expectations from the soup's shape (each block references the
+        // whole previous round): rounds before the victim's promote in
+        // full, the victim's round-mates promote, every later round
+        // depends on the victim and must stay pending.
+        let tamper_round = tamper / builders;
+        let expected_promoted = tamper_round * builders + (builders - 1);
+        let expected_pending = (rounds as usize - tamper_round - 1) * builders;
+
+        let registry = KeyRegistry::generate(builders + 1, 17);
+        let mut orders = Vec::new();
+        for mode in [
+            AdmissionMode::Index,
+            AdmissionMode::Scan,
+            AdmissionMode::Parallel { workers: 2 },
+        ] {
+            let mut receiver = Gossip::new(
+                ServerId::new(0),
+                GossipConfig::for_n(builders + 1).with_admission(mode),
+                registry.signer(ServerId::new(0)).unwrap(),
+                registry.verifier(),
+            );
+            for index in &order {
+                receiver.on_block(blocks[*index].clone(), 0);
+            }
+            prop_assert_eq!(receiver.dag().len(), expected_promoted, "{mode:?}");
+            prop_assert_eq!(receiver.pending_len(), expected_pending, "{mode:?}");
+            prop_assert_eq!(receiver.rejected().len(), 1, "{mode:?}");
+            let (rejected_ref, reason) = &receiver.rejected()[0];
+            prop_assert_eq!(*rejected_ref, forged_ref, "{mode:?}");
+            prop_assert!(
+                matches!(reason, dagbft_core::InvalidBlockError::BadSignature { .. }),
+                "{mode:?}: wrong rejection reason {reason:?}"
+            );
+            prop_assert!(!receiver.dag().contains(&forged_ref), "{mode:?}");
+            prop_assert_eq!(receiver.stats().invalid_blocks, 1, "{mode:?}");
+            orders.push(
+                receiver
+                    .dag()
+                    .iter()
+                    .map(|b| b.block_ref())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        // All three engines promoted in the same order.
+        prop_assert_eq!(&orders[0], &orders[1]);
+        prop_assert_eq!(&orders[0], &orders[2]);
     }
 
     #[test]

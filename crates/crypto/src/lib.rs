@@ -39,7 +39,9 @@ mod sha256;
 mod sig;
 
 pub use digest::Digest;
-pub use hmac::hmac_sha256;
+pub use hmac::{hmac_sha256, HmacKey};
 pub use identity::ServerId;
 pub use sha256::{sha256, Sha256};
-pub use sig::{CryptoMetrics, KeyRegistry, SecretKey, Signature, Signer, Verifier};
+pub use sig::{
+    BatchVerifier, CryptoMetrics, KeyRegistry, SecretKey, Signature, SignedDigest, Signer, Verifier,
+};

@@ -22,7 +22,7 @@ use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{hmac_sha256, Digest, ServerId};
+use crate::{hmac_sha256, Digest, HmacKey, ServerId};
 
 /// A per-server signing key.
 #[derive(Clone)]
@@ -84,6 +84,9 @@ impl WireDecode for Signature {
 pub struct CryptoMetrics {
     signs: AtomicU64,
     verifies: AtomicU64,
+    batches: AtomicU64,
+    batched_verifies: AtomicU64,
+    largest_batch: AtomicU64,
 }
 
 impl CryptoMetrics {
@@ -92,21 +95,53 @@ impl CryptoMetrics {
         self.signs.load(Ordering::Relaxed)
     }
 
-    /// Number of verification operations performed so far.
+    /// Number of verification operations performed so far (batched items
+    /// included: a batch of `k` signatures counts `k` verifications, so
+    /// this total is identical whichever path performed the work).
     pub fn verifies(&self) -> u64 {
         self.verifies.load(Ordering::Relaxed)
     }
 
-    /// Resets both counters to zero.
+    /// Number of [`BatchVerifier::verify_batch`] passes performed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Number of verifications performed *inside* batches — the share of
+    /// [`CryptoMetrics::verifies`] that went through the amortized path.
+    pub fn batched_verifies(&self) -> u64 {
+        self.batched_verifies.load(Ordering::Relaxed)
+    }
+
+    /// Size of the largest batch verified so far.
+    pub fn largest_batch(&self) -> u64 {
+        self.largest_batch.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
     pub fn reset(&self) {
         self.signs.store(0, Ordering::Relaxed);
         self.verifies.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batched_verifies.store(0, Ordering::Relaxed);
+        self.largest_batch.store(0, Ordering::Relaxed);
+    }
+
+    fn record_batch(&self, items: u64) {
+        self.verifies.fetch_add(items, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_verifies.fetch_add(items, Ordering::Relaxed);
+        self.largest_batch.fetch_max(items, Ordering::Relaxed);
     }
 }
 
 #[derive(Debug)]
 struct RegistryInner {
     keys: Vec<SecretKey>,
+    /// Precomputed HMAC key schedules, one per server, shared by every
+    /// [`Signer`], [`Verifier`], and [`BatchVerifier`] handle: the padded
+    /// key blocks are absorbed exactly once per key per registry.
+    schedules: Vec<HmacKey>,
     metrics: CryptoMetrics,
 }
 
@@ -137,16 +172,18 @@ impl KeyRegistry {
     /// Deterministic seeding keeps whole-simulation runs reproducible.
     pub fn generate(n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let keys = (0..n)
+        let keys: Vec<SecretKey> = (0..n)
             .map(|_| {
                 let mut key = [0u8; 32];
                 rng.fill(&mut key);
                 SecretKey(key)
             })
             .collect();
+        let schedules = keys.iter().map(|key| HmacKey::new(&key.0)).collect();
         KeyRegistry {
             inner: Arc::new(RegistryInner {
                 keys,
+                schedules,
                 metrics: CryptoMetrics::default(),
             }),
         }
@@ -164,10 +201,10 @@ impl KeyRegistry {
 
     /// Returns the signing handle for `id`, or `None` for unknown servers.
     pub fn signer(&self, id: ServerId) -> Option<Signer> {
-        let key = self.inner.keys.get(id.index())?.clone();
+        let schedule = self.inner.schedules.get(id.index())?.clone();
         Some(Signer {
             id,
-            key,
+            schedule,
             registry: self.inner.clone(),
         })
     }
@@ -175,6 +212,13 @@ impl KeyRegistry {
     /// Returns a verification handle over all servers' keys.
     pub fn verifier(&self) -> Verifier {
         Verifier {
+            registry: self.inner.clone(),
+        }
+    }
+
+    /// Returns a batch-verification handle (see [`BatchVerifier`]).
+    pub fn batch_verifier(&self) -> BatchVerifier {
+        BatchVerifier {
             registry: self.inner.clone(),
         }
     }
@@ -187,12 +231,13 @@ impl KeyRegistry {
 
 /// Signing handle for a single server.
 ///
-/// Holds only that server's key: simulated byzantine servers receive their
-/// own [`Signer`] and therefore cannot forge others' signatures.
+/// Holds only that server's key schedule: simulated byzantine servers
+/// receive their own [`Signer`] and therefore cannot forge others'
+/// signatures.
 #[derive(Debug, Clone)]
 pub struct Signer {
     id: ServerId,
-    key: SecretKey,
+    schedule: HmacKey,
     registry: Arc<RegistryInner>,
 }
 
@@ -205,11 +250,16 @@ impl Signer {
     /// Signs `message`.
     pub fn sign(&self, message: &[u8]) -> Signature {
         self.registry.metrics.signs.fetch_add(1, Ordering::Relaxed);
-        Signature(self.key.mac(message))
+        Signature(self.schedule.mac(message))
     }
 }
 
 /// Verification handle over the whole server set.
+///
+/// Holds the precomputed per-server HMAC key schedules, so each
+/// verification resumes from the cached key midstates instead of
+/// re-deriving the padded key blocks (which [`Verifier::verify_cold`]
+/// still does, as the pre-hoist baseline for benchmarks).
 #[derive(Debug, Clone)]
 pub struct Verifier {
     registry: Arc<RegistryInner>,
@@ -224,10 +274,104 @@ impl Verifier {
             .metrics
             .verifies
             .fetch_add(1, Ordering::Relaxed);
+        match self.registry.schedules.get(claimed.index()) {
+            Some(schedule) => schedule.mac(message) == signature.0,
+            None => false,
+        }
+    }
+
+    /// [`Verifier::verify`] without the hoisted key schedule: rebuilds the
+    /// padded key blocks on every call, exactly as every per-block
+    /// verification did before schedules were cached. Retained so the
+    /// `report_admission` bench can pin the batched path's speedup against
+    /// a stable baseline; not used on any hot path.
+    pub fn verify_cold(&self, claimed: ServerId, message: &[u8], signature: &Signature) -> bool {
+        self.registry
+            .metrics
+            .verifies
+            .fetch_add(1, Ordering::Relaxed);
         match self.registry.keys.get(claimed.index()) {
             Some(key) => key.mac(message) == signature.0,
             None => false,
         }
+    }
+
+    /// Returns a batch handle over the same registry (and counters).
+    pub fn batch(&self) -> BatchVerifier {
+        BatchVerifier {
+            registry: self.registry.clone(),
+        }
+    }
+}
+
+/// One signed 32-byte digest awaiting batch verification: the claim
+/// "`signature` is `sign(claimed, digest)`".
+///
+/// For blocks this is exactly Definition 3.3 (i): `claimed` is `B.n`,
+/// `digest` the cached `ref(B)` (the hash of the block's signing
+/// preimage), `signature` `B.σ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedDigest {
+    /// The identity claimed to have produced the signature.
+    pub claimed: ServerId,
+    /// The signed message — a 32-byte digest (`ref(B)` for blocks).
+    pub digest: Digest,
+    /// The signature under test.
+    pub signature: Signature,
+}
+
+/// Batched verification over the whole server set: one pass over a slice
+/// of [`SignedDigest`]s, amortizing per-item dispatch and reusing the
+/// per-server key schedules via the 32-byte MAC fast path.
+///
+/// With the HMAC stand-in the per-item work cannot be merged further, but
+/// the API is deliberately the shape a real scheme batches behind — a
+/// multi-scalar/aggregate verification (one pairing or MSM per batch)
+/// would slot in under `verify_batch` without touching any caller. Batch
+/// passes and sizes are counted in [`CryptoMetrics`] (experiment E6's
+/// batching argument, PAPER §4).
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_crypto::{KeyRegistry, ServerId, SignedDigest};
+///
+/// let registry = KeyRegistry::generate(2, 42);
+/// let signer = registry.signer(ServerId::new(1)).unwrap();
+/// let digest = dagbft_crypto::sha256(b"block preimage");
+/// let signature = signer.sign(digest.as_bytes());
+/// let batch = registry.batch_verifier();
+/// let verdicts = batch.verify_batch(&[SignedDigest {
+///     claimed: ServerId::new(1),
+///     digest,
+///     signature,
+/// }]);
+/// assert_eq!(verdicts, vec![true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchVerifier {
+    registry: Arc<RegistryInner>,
+}
+
+impl BatchVerifier {
+    /// Verifies every item in one pass, returning per-item verdicts in
+    /// input order. Unknown identities verify to `false`.
+    ///
+    /// An empty batch performs (and records) nothing.
+    pub fn verify_batch(&self, items: &[SignedDigest]) -> Vec<bool> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        self.registry.metrics.record_batch(items.len() as u64);
+        items
+            .iter()
+            .map(
+                |item| match self.registry.schedules.get(item.claimed.index()) {
+                    Some(schedule) => schedule.mac32(item.digest.as_bytes()) == item.signature.0,
+                    None => false,
+                },
+            )
+            .collect()
     }
 }
 
@@ -293,6 +437,90 @@ mod tests {
         assert_eq!(registry.metrics().verifies(), 2);
         registry.metrics().reset();
         assert_eq!(registry.metrics().verifies(), 0);
+    }
+
+    #[test]
+    fn cold_and_hoisted_verify_agree() {
+        let registry = registry();
+        let verifier = registry.verifier();
+        let signer = registry.signer(ServerId::new(1)).unwrap();
+        let digest = crate::sha256(b"preimage");
+        let sig = signer.sign(digest.as_bytes());
+        for claimed in [1u32, 2, 9] {
+            let claimed = ServerId::new(claimed);
+            assert_eq!(
+                verifier.verify(claimed, digest.as_bytes(), &sig),
+                verifier.verify_cold(claimed, digest.as_bytes(), &sig),
+            );
+        }
+        assert_eq!(registry.metrics().verifies(), 6);
+    }
+
+    #[test]
+    fn batch_verify_matches_single_verdicts() {
+        let registry = registry();
+        let verifier = registry.verifier();
+        let batch = registry.batch_verifier();
+        let mut items = Vec::new();
+        for i in 0..4u32 {
+            let signer = registry.signer(ServerId::new(i)).unwrap();
+            let digest = crate::sha256(i.to_le_bytes());
+            let signature = signer.sign(digest.as_bytes());
+            items.push(SignedDigest {
+                claimed: ServerId::new(i),
+                digest,
+                signature,
+            });
+        }
+        // Tamper item 2 (wrong signature) and item 3 (wrong claimed id).
+        items[2].signature = Signature::NULL;
+        items[3].claimed = ServerId::new(0);
+        let verdicts = batch.verify_batch(&items);
+        let singles: Vec<bool> = items
+            .iter()
+            .map(|item| verifier.verify(item.claimed, item.digest.as_bytes(), &item.signature))
+            .collect();
+        assert_eq!(verdicts, singles);
+        assert_eq!(verdicts, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn batch_verify_unknown_identity_false() {
+        let registry = registry();
+        let batch = registry.verifier().batch();
+        let digest = crate::sha256(b"x");
+        let verdicts = batch.verify_batch(&[SignedDigest {
+            claimed: ServerId::new(99),
+            digest,
+            signature: Signature::NULL,
+        }]);
+        assert_eq!(verdicts, vec![false]);
+    }
+
+    #[test]
+    fn batch_metrics_count_passes_and_items() {
+        let registry = registry();
+        let batch = registry.batch_verifier();
+        let signer = registry.signer(ServerId::new(0)).unwrap();
+        let digest = crate::sha256(b"m");
+        let signature = signer.sign(digest.as_bytes());
+        let item = SignedDigest {
+            claimed: ServerId::new(0),
+            digest,
+            signature,
+        };
+        assert!(batch.verify_batch(&[]).is_empty());
+        assert_eq!(registry.metrics().batches(), 0, "empty batches not counted");
+        batch.verify_batch(&[item; 3]);
+        batch.verify_batch(&[item; 2]);
+        assert_eq!(registry.metrics().batches(), 2);
+        assert_eq!(registry.metrics().batched_verifies(), 5);
+        assert_eq!(registry.metrics().largest_batch(), 3);
+        // Batched items count toward the one shared verification total.
+        assert_eq!(registry.metrics().verifies(), 5);
+        registry.metrics().reset();
+        assert_eq!(registry.metrics().batches(), 0);
+        assert_eq!(registry.metrics().largest_batch(), 0);
     }
 
     #[test]

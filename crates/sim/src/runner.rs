@@ -61,9 +61,11 @@ pub struct SimConfig {
     pub roles: HashMap<usize, Role>,
     /// Cap on requests per block (Algorithm 3's `rqsts.get()`).
     pub max_requests_per_block: usize,
-    /// Gossip admission engine for every correct server (the scan engine
-    /// exists so whole-simulation equivalence can be asserted against the
-    /// incremental index — see `tests/cross_seed_determinism.rs`).
+    /// Gossip admission engine for every correct server: the batched
+    /// index (default), the scan oracle, or the parallel pipeline with a
+    /// per-server verification worker pool. Whole-simulation byte
+    /// equivalence across all three is asserted by
+    /// `tests/cross_seed_determinism.rs`.
     pub admission: AdmissionMode,
 }
 
@@ -156,8 +158,15 @@ pub struct SimOutcome<P: DeterministicProtocol> {
     pub net: NetMetrics,
     /// Signature operations (from the shared key registry).
     pub signatures: u64,
-    /// Verification operations.
+    /// Verification operations (batched items included, so this total is
+    /// admission-mode independent).
     pub verifications: u64,
+    /// Batched verification passes performed by the admission pipeline
+    /// (zero under [`AdmissionMode::Scan`]).
+    pub verify_batches: u64,
+    /// Verifications that went through batched waves — the share of
+    /// `verifications` on the amortized path.
+    pub batched_verifications: u64,
     /// Simulation time at stop.
     pub finished_at: TimeMs,
     /// Injection times by label (first injection wins), for latency math.
@@ -375,6 +384,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
             net: self.net,
             signatures: self.registry.metrics().signs(),
             verifications: self.registry.metrics().verifies(),
+            verify_batches: self.registry.metrics().batches(),
+            batched_verifications: self.registry.metrics().batched_verifies(),
             finished_at,
             injected_at: self.injected_at,
             servers: self
@@ -772,6 +783,37 @@ mod tests {
         assert_eq!(total.blocks, per_server);
         assert!(total.blocks > 0);
         assert!(total.unique_instances <= total.instances);
+    }
+
+    #[test]
+    fn admission_modes_agree_and_batch_counters_surface() {
+        let run = |mode: AdmissionMode| {
+            let config = SimConfig::new(4)
+                .with_max_time(5_000)
+                .with_admission(mode)
+                .with_stop_after_deliveries(4);
+            let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+            sim.inject(broadcast_injection(0, 0, 1, 6));
+            sim.run()
+        };
+        let index = run(AdmissionMode::Index);
+        let scan = run(AdmissionMode::Scan);
+        let parallel = run(AdmissionMode::Parallel { workers: 2 });
+        for outcome in [&scan, &parallel] {
+            assert_eq!(index.deliveries.len(), outcome.deliveries.len());
+            assert_eq!(index.net.bytes_sent, outcome.net.bytes_sent);
+            assert_eq!(index.signatures, outcome.signatures);
+            // The verification *total* is mode-independent; only the share
+            // that went through batched waves differs.
+            assert_eq!(index.verifications, outcome.verifications);
+        }
+        assert_eq!(scan.verify_batches, 0);
+        assert_eq!(scan.batched_verifications, 0);
+        for outcome in [&index, &parallel] {
+            assert!(outcome.verify_batches > 0);
+            assert!(outcome.batched_verifications > 0);
+            assert!(outcome.batched_verifications <= outcome.verifications);
+        }
     }
 
     #[test]

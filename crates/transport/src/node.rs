@@ -73,6 +73,14 @@ impl<P: DeterministicProtocol> NodeHandle<P> {
 /// Spawns a node: a [`Shim<P>`] event loop over an already-bound
 /// transport.
 ///
+/// The admission engine comes from `config` (see
+/// `dagbft_core::AdmissionMode`): with
+/// `ShimConfig::with_admission(AdmissionMode::Parallel { workers })` the
+/// node's signature checks run on a per-node verification pool, spreading
+/// hostile-burst admission waves across cores. The event loop still waits
+/// for each wave's verdicts, so prefer the default batched engine unless
+/// waves are wide enough to amortize the per-chunk channel round-trip.
+///
 /// # Errors
 ///
 /// [`SetupError::UnknownServer`] if `registry` lacks a key for

@@ -88,7 +88,7 @@ fn run_fingerprint_with(seed: u64, admission: AdmissionMode) -> Vec<u8> {
 }
 
 fn run_fingerprint(seed: u64) -> Vec<u8> {
-    run_fingerprint_with(seed, AdmissionMode::Incremental)
+    run_fingerprint_with(seed, AdmissionMode::Index)
 }
 
 #[test]
@@ -111,13 +111,44 @@ fn different_seeds_give_different_schedules() {
 
 #[test]
 fn admission_engines_are_byte_identical_at_system_level() {
-    // "Before/after" proof for the incremental admission index: whole
-    // lossy simulations — deliveries, wire metrics, crypto counters, and
-    // every block's canonical bytes — are identical under the retained
-    // scan engine and the incremental one.
+    // "Before/after" proof for the admission pipeline: whole lossy
+    // simulations — deliveries, wire metrics, crypto counters, and every
+    // block's canonical bytes — are identical under the retained scan
+    // engine, the wave-batched index, and the parallel pipeline (whose
+    // verification worker pool must not leak thread scheduling into any
+    // observable).
     for seed in [0, 7, 42] {
-        let incremental = run_fingerprint_with(seed, AdmissionMode::Incremental);
+        let index = run_fingerprint_with(seed, AdmissionMode::Index);
         let scan = run_fingerprint_with(seed, AdmissionMode::Scan);
-        assert_eq!(incremental, scan, "seed {seed}: engines diverged");
+        assert_eq!(index, scan, "seed {seed}: index vs scan diverged");
+        let parallel = run_fingerprint_with(seed, AdmissionMode::Parallel { workers: 2 });
+        assert_eq!(index, parallel, "seed {seed}: index vs parallel diverged");
     }
+}
+
+/// CI hook for the determinism smoke step: when `DAGBFT_FP_OUT` is set,
+/// write a digest of the full cross-seed, cross-engine fingerprint
+/// corpus to that path. CI runs the suite twice — `--test-threads=1` and
+/// the default parallel harness — and diffs the two files, so a worker
+/// pool (or any future thread) leaking scheduling order into an
+/// observable fails the build even if each in-process assertion still
+/// holds.
+#[test]
+fn fingerprint_digest_export() {
+    let Ok(path) = std::env::var("DAGBFT_FP_OUT") else {
+        return;
+    };
+    let mut corpus = Vec::new();
+    for seed in [0, 7, 42] {
+        for (name, mode) in [
+            ("index", AdmissionMode::Index),
+            ("scan", AdmissionMode::Scan),
+            ("parallel", AdmissionMode::Parallel { workers: 2 }),
+        ] {
+            corpus.extend_from_slice(format!("{seed}:{name}:").as_bytes());
+            corpus.extend_from_slice(&run_fingerprint_with(seed, mode));
+        }
+    }
+    let digest = dagbft::crypto::sha256(&corpus).to_hex();
+    std::fs::write(&path, format!("{digest}\n")).expect("fingerprint digest written");
 }

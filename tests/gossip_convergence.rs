@@ -1,9 +1,10 @@
 //! Lemma 3.6/3.7: eventual convergence of correct servers' DAGs — under
 //! clean networks, loss, and healed partitions (experiment E10's
 //! functional side) — plus the gossip-burst admission regression: the
-//! incremental reverse-dependency index must promote exactly what the
-//! seed's scan-based engine promotes, in the same deterministic order,
-//! on hostile out-of-order and equivocating deliveries.
+//! batched reverse-dependency index and the parallel pipeline must
+//! promote exactly what the seed's scan-based engine promotes, in the
+//! same deterministic order, on hostile out-of-order and equivocating
+//! deliveries.
 
 use dagbft::prelude::*;
 use rand::seq::SliceRandom;
@@ -249,27 +250,36 @@ fn gossip_burst_admission_matches_scan_engine() {
         schedules.push(("shuffled", shuffled));
     }
     for (name, schedule) in schedules {
-        let incremental = admission_fingerprint(&registry, &schedule, AdmissionMode::Incremental);
-        let scan = admission_fingerprint(&registry, &schedule, AdmissionMode::Scan);
-        assert_eq!(
-            incremental.0, scan.0,
-            "{name}: FWD/command traffic diverged"
-        );
-        assert_eq!(incremental.1, scan.1, "{name}: promotion order diverged");
-        assert_eq!(incremental.2, scan.2, "{name}: pending buffer diverged");
-        assert_eq!(incremental.3, scan.3, "{name}: rejections diverged");
-        assert_eq!(incremental.4, scan.4, "{name}: stats diverged");
-        // The sealed next block — whose bytes are hashed and signed — is
-        // bit-identical, so the engines are indistinguishable on the wire.
-        assert_eq!(
-            incremental.5.wire_bytes(),
-            scan.5.wire_bytes(),
-            "{name}: own block bytes diverged"
-        );
+        let index = admission_fingerprint(&registry, &schedule, AdmissionMode::Index);
+        for (engine, mode) in [
+            ("scan", AdmissionMode::Scan),
+            ("parallel", AdmissionMode::Parallel { workers: 3 }),
+        ] {
+            let other = admission_fingerprint(&registry, &schedule, mode);
+            assert_eq!(
+                index.0, other.0,
+                "{name}/{engine}: FWD/command traffic diverged"
+            );
+            assert_eq!(
+                index.1, other.1,
+                "{name}/{engine}: promotion order diverged"
+            );
+            assert_eq!(index.2, other.2, "{name}/{engine}: pending buffer diverged");
+            assert_eq!(index.3, other.3, "{name}/{engine}: rejections diverged");
+            assert_eq!(index.4, other.4, "{name}/{engine}: stats diverged");
+            // The sealed next block — whose bytes are hashed and signed —
+            // is bit-identical, so the engines are indistinguishable on
+            // the wire.
+            assert_eq!(
+                index.5.wire_bytes(),
+                other.5.wire_bytes(),
+                "{name}/{engine}: own block bytes diverged"
+            );
+        }
         // The permanently-invalid chain stays buffered/rejected, never
-        // promoted, under both engines.
-        assert_eq!(incremental.3, 1, "{name}: the two-parent block is rejected");
-        assert_eq!(incremental.2, 1, "{name}: its child stays pending forever");
+        // promoted, under every engine.
+        assert_eq!(index.3, 1, "{name}: the two-parent block is rejected");
+        assert_eq!(index.2, 1, "{name}: its child stays pending forever");
     }
 }
 
