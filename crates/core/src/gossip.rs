@@ -49,8 +49,49 @@
 //!   `report_wire`/`report_admission` benches drive all engines with
 //!   identical hostile schedules and assert identical DAGs, promotion
 //!   orders, stats, and `FWD` traffic.
+//!
+//! # Deferred admission bursts
+//!
+//! Waves are only as wide as the ready set at verification time, and
+//! per-message ingest keeps that set narrow: a chain delivered in order
+//! promotes one block per [`Gossip::on_block`], so every wave has width 1
+//! and the parallel pool starves. The *burst* path widens the unit of
+//! work from "one cascade's ready wave" to "one whole admission burst":
+//! [`Gossip::begin_burst`] opens a bracket in which `on_block` only
+//! dedups and buffers (O(1) per block — no verification, no promotion,
+//! no per-predecessor bookkeeping), and [`Gossip::end_burst`] then runs
+//! *one* dependency-analysis pass over the whole buffer (missing
+//! counts + reverse adjacency), computes the full ready frontier
+//! *across all cascades*, verifies it wave by wave — each wave ordered
+//! by `(builder, seq, ref)` so same-builder runs are contiguous for the
+//! verifier — and promotes in that canonical order, rebuilding the
+//! incremental index for whatever survives. [`Gossip::on_block_burst`]
+//! wraps the bracket for slice-shaped callers (the shim's ingest loop,
+//! the simulator's burst delivery, the transport's channel drain).
+//!
+//! Burst promotion is deterministic and byte-identical across all three
+//! engines (they share the wave schedule and differ only in verification
+//! dispatch: per-candidate under `Scan`, one [`BatchVerifier`] pass per
+//! wave under `Index`, pipelined pool fan-out under `Parallel`, which
+//! overlaps in-flight verification with promotion bookkeeping). Relative
+//! to per-message ingest the *outcome* — admitted blocks, rejections,
+//! validation counts — is identical as well (the promotion fixed point is
+//! confluent); only the order in which the current block references the
+//! newly admitted blocks, and the `FWD` traffic for gaps resolved within
+//! the burst, may differ.
+//!
+//! # Pending-buffer cap
+//!
+//! The `blks` buffer is bounded by [`GossipConfig::pending_cap`]: once
+//! admission (per-message or burst) has settled, the buffer is trimmed to
+//! the cap by deterministic eviction — oldest *never-promotable* block
+//! first (one referencing an already rejected predecessor), then oldest
+//! overall. Each eviction emits an [`EvictionEvent`] and re-lists the
+//! evicted reference as missing for any surviving waiters, so the `FWD`
+//! path can re-fetch a wanted block after byzantine flood pressure
+//! subsides — eviction bounds memory, never safety.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crossbeam::channel::{Receiver, Sender};
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
@@ -161,6 +202,11 @@ impl AdmissionMode {
     }
 }
 
+/// Default bound on the pending (`blks`) buffer — far above any honest
+/// in-flight backlog, low enough that a byzantine flood of
+/// never-promotable blocks cannot grow memory without bound.
+pub const DEFAULT_PENDING_CAP: usize = 65_536;
+
 /// Configuration for the gossip layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GossipConfig {
@@ -171,6 +217,9 @@ pub struct GossipConfig {
     pub fwd_retry_ms: TimeMs,
     /// The admission engine for buffered blocks.
     pub admission: AdmissionMode,
+    /// Maximum number of buffered, not-yet-valid blocks; exceeding it
+    /// triggers deterministic eviction (see the module docs).
+    pub pending_cap: usize,
 }
 
 impl GossipConfig {
@@ -181,12 +230,19 @@ impl GossipConfig {
             n,
             fwd_retry_ms: 100,
             admission: AdmissionMode::default(),
+            pending_cap: DEFAULT_PENDING_CAP,
         }
     }
 
     /// Selects the admission engine.
     pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Bounds the pending buffer (must be at least 1).
+    pub fn with_pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(1);
         self
     }
 }
@@ -212,6 +268,8 @@ pub struct GossipStats {
     pub fwd_answered: u64,
     /// Peak size of the pending (`blks`) buffer.
     pub pending_peak: usize,
+    /// Pending blocks evicted by the buffer cap (see [`EvictionEvent`]).
+    pub blocks_evicted: u64,
 }
 
 /// State of an outstanding forward request for one missing block.
@@ -233,6 +291,34 @@ struct PendingBlock {
     /// Predecessors not yet in the DAG (maintained by the index engines;
     /// the scan engine recomputes promotability from the DAG).
     missing: BTreeSet<BlockRef>,
+    /// Receipt ordinal — the deterministic age the eviction policy sorts
+    /// by ("oldest never-promotable first").
+    arrival: u64,
+    /// Whether the block is known never-promotable (references a
+    /// rejected block, transitively). This flag *is* the block's
+    /// eviction-queue rank: every re-rank updates both together, so the
+    /// queue key can always be reconstructed exactly.
+    stranded: bool,
+}
+
+/// Accountability record for one pending-buffer eviction.
+///
+/// Eviction is a resource decision, not a validity verdict: the evicted
+/// block re-enters the `FWD` missing set for any surviving waiters, so it
+/// can be re-fetched and admitted later. The event names the builder
+/// whose block was dropped — under a byzantine flood that is the flooding
+/// server, the raw material the paper's §6 accountability discussion
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionEvent {
+    /// The evicted block.
+    pub block: BlockRef,
+    /// Its claimed builder.
+    pub builder: ServerId,
+    /// The never-promotable predecessor (rejected, or itself stranded on
+    /// a rejection) that doomed the block, when the policy picked it for
+    /// that reason (`None`: evicted as oldest overall).
+    pub stranded_on: Option<BlockRef>,
 }
 
 /// Counters for the wave-batched verification pipeline (index engines
@@ -250,13 +336,64 @@ pub struct WaveStats {
     pub batched_blocks: u64,
     /// Size of the largest wave.
     pub largest_wave: usize,
+    /// Size of the smallest wave (0 until the first wave is recorded).
+    pub smallest_wave: usize,
+    /// Deferred-admission brackets processed (`begin_burst`/`end_burst`;
+    /// recorded by every engine, including the scan oracle — burst shape
+    /// is an ingest property, not a batching one).
+    pub bursts: u64,
+    /// Blocks buffered through those brackets (received minus duplicates).
+    pub burst_blocks: u64,
+    /// Wave-width histogram over power-of-two buckets: index `i` counts
+    /// waves of width in `[2^i, 2^(i+1))`; the last bucket is open-ended.
+    pub width_histogram: [u64; WAVE_WIDTH_BUCKETS],
 }
+
+/// Number of log₂ buckets in [`WaveStats::width_histogram`] (widths 1 up
+/// to ≥ 2048).
+pub const WAVE_WIDTH_BUCKETS: usize = 12;
 
 impl WaveStats {
     fn record(&mut self, wave: usize) {
+        debug_assert!(wave > 0, "empty waves are not recorded");
         self.waves += 1;
         self.batched_blocks += wave as u64;
         self.largest_wave = self.largest_wave.max(wave);
+        self.smallest_wave = if self.waves == 1 {
+            wave
+        } else {
+            self.smallest_wave.min(wave)
+        };
+        let bucket = (wave.ilog2() as usize).min(WAVE_WIDTH_BUCKETS - 1);
+        self.width_histogram[bucket] += 1;
+    }
+
+    /// Mean wave width (0.0 before the first wave).
+    pub fn mean_wave(&self) -> f64 {
+        if self.waves == 0 {
+            0.0
+        } else {
+            self.batched_blocks as f64 / self.waves as f64
+        }
+    }
+
+    /// Folds another instance's counters into this one — how the
+    /// simulator aggregates per-server wave statistics into a
+    /// whole-deployment view.
+    pub fn merge(&mut self, other: &WaveStats) {
+        self.smallest_wave = match (self.waves, other.waves) {
+            (_, 0) => self.smallest_wave,
+            (0, _) => other.smallest_wave,
+            _ => self.smallest_wave.min(other.smallest_wave),
+        };
+        self.waves += other.waves;
+        self.batched_blocks += other.batched_blocks;
+        self.largest_wave = self.largest_wave.max(other.largest_wave);
+        self.bursts += other.bursts;
+        self.burst_blocks += other.burst_blocks;
+        for (mine, theirs) in self.width_histogram.iter_mut().zip(other.width_histogram) {
+            *mine += theirs;
+        }
     }
 }
 
@@ -335,6 +472,91 @@ impl VerifyPool {
             .collect::<Vec<_>>()
             .concat()
     }
+
+    /// Dispatches `items` across the pool in small chunks and returns a
+    /// cursor yielding verdicts *in item order* as chunks complete — the
+    /// burst path's pipeline: the event-loop thread promotes blocks of
+    /// chunk `k` while the workers are still verifying chunks `k+1…`.
+    /// Verdicts remain a pure function of the input order; only the
+    /// overlap of verification and promotion bookkeeping changes.
+    fn stream(&self, items: &[SignedDigest]) -> VerdictStream<'_> {
+        let mut dispatched = 0;
+        if !items.is_empty() {
+            let jobs = self.jobs.as_ref().expect("pool alive");
+            // Several chunks per worker so verdicts start flowing early
+            // and the reassembly thread rarely stalls; a floor keeps the
+            // per-chunk channel round-trip amortized on small waves.
+            let chunk_len = items
+                .len()
+                .div_ceil(self.workers * PIPELINE_CHUNKS_PER_WORKER)
+                .max(MIN_PIPELINE_CHUNK);
+            for (slot, chunk) in items.chunks(chunk_len).enumerate() {
+                jobs.send((slot, chunk.to_vec())).expect("workers alive");
+                dispatched += 1;
+            }
+        }
+        VerdictStream {
+            verdicts: &self.verdicts,
+            outstanding: dispatched,
+            reorder: BTreeMap::new(),
+            next_slot: 0,
+            current: Vec::new().into_iter(),
+        }
+    }
+}
+
+/// Gear selector for `end_burst`: the whole-buffer analysis pass runs
+/// only when the burst is at least this share (1/N) of the pending
+/// buffer, so its O(pending) cost is always amortized by the burst
+/// itself; smaller bursts index incrementally in O(burst · preds).
+const DEFERRED_ANALYSIS_FACTOR: usize = 4;
+
+/// Chunks dispatched per worker by [`VerifyPool::stream`].
+const PIPELINE_CHUNKS_PER_WORKER: usize = 4;
+/// Minimum pipelined chunk size (items), amortizing channel round-trips.
+const MIN_PIPELINE_CHUNK: usize = 16;
+
+/// In-order cursor over a pipelined dispatch's verdicts (see
+/// [`VerifyPool::stream`]). Chunks arriving out of slot order are
+/// buffered; dropping the cursor drains stragglers so the next dispatch
+/// starts with an empty verdict channel.
+struct VerdictStream<'a> {
+    verdicts: &'a Receiver<VerifyVerdicts>,
+    /// Chunks dispatched but not yet received.
+    outstanding: usize,
+    /// Early chunks, keyed by slot.
+    reorder: BTreeMap<usize, Vec<bool>>,
+    next_slot: usize,
+    current: std::vec::IntoIter<bool>,
+}
+
+impl VerdictStream<'_> {
+    /// The next verdict in item order (blocks on the pool as needed).
+    /// Must be called exactly once per dispatched item.
+    fn next_verdict(&mut self) -> bool {
+        loop {
+            if let Some(verdict) = self.current.next() {
+                return verdict;
+            }
+            if let Some(chunk) = self.reorder.remove(&self.next_slot) {
+                self.next_slot += 1;
+                self.current = chunk.into_iter();
+                continue;
+            }
+            let (slot, verdicts) = self.verdicts.recv().expect("workers alive");
+            self.outstanding -= 1;
+            self.reorder.insert(slot, verdicts);
+        }
+    }
+}
+
+impl Drop for VerdictStream<'_> {
+    fn drop(&mut self) {
+        while self.outstanding > 0 {
+            let _ = self.verdicts.recv();
+            self.outstanding -= 1;
+        }
+    }
 }
 
 impl Drop for VerifyPool {
@@ -389,12 +611,35 @@ pub struct Gossip {
     /// Blocks rejected as permanently invalid, with the reason — kept for
     /// auditing (the paper notes accountability as an extension, §6).
     rejected: Vec<(BlockRef, InvalidBlockError)>,
+    /// References known to be permanently un-admittable: rejected blocks
+    /// plus, transitively, every buffered block that references one — the
+    /// "never promotable" predicate the eviction policy sorts by.
+    stranded_refs: BTreeSet<BlockRef>,
     stats: GossipStats,
     /// Wave-batched verification (index engines).
     batch_verifier: BatchVerifier,
     /// Worker pool, present only in [`AdmissionMode::Parallel`].
     pool: Option<VerifyPool>,
     wave_stats: WaveStats,
+    /// Receipt ordinal source for [`PendingBlock::arrival`].
+    arrivals: u64,
+    /// Eviction order over the pending buffer:
+    /// `(not_stranded, arrival, ref)` — known-stranded blocks (a rejected
+    /// predecessor) sort first, then oldest arrival. Kept in lockstep
+    /// with `pending` so enforcing the cap is O(log) per block.
+    eviction_queue: BTreeSet<(bool, u64, BlockRef)>,
+    /// Accountability log of cap evictions, in eviction order.
+    evictions: Vec<EvictionEvent>,
+    /// `Some` while inside a `begin_burst()`/`end_burst()` bracket.
+    burst: Option<BurstState>,
+}
+
+/// State accumulated inside a deferred-admission bracket.
+#[derive(Debug, Default)]
+struct BurstState {
+    /// Blocks buffered during this bracket (received minus duplicates),
+    /// in arrival order — the indexing order of the incremental branch.
+    arrived: Vec<BlockRef>,
 }
 
 /// Result of the validity checks of Definition 3.3 against the current DAG.
@@ -424,10 +669,15 @@ impl Gossip {
             waiters: BTreeMap::new(),
             missing: BTreeMap::new(),
             rejected: Vec::new(),
+            stranded_refs: BTreeSet::new(),
             stats: GossipStats::default(),
             batch_verifier,
             pool,
             wave_stats: WaveStats::default(),
+            arrivals: 0,
+            eviction_queue: BTreeSet::new(),
+            evictions: Vec::new(),
+            burst: None,
         }
     }
 
@@ -506,10 +756,15 @@ impl Gossip {
             waiters: BTreeMap::new(),
             missing: BTreeMap::new(),
             rejected: Vec::new(),
+            stranded_refs: BTreeSet::new(),
             stats: GossipStats::default(),
             batch_verifier,
             pool,
             wave_stats: WaveStats::default(),
+            arrivals: 0,
+            eviction_queue: BTreeSet::new(),
+            evictions: Vec::new(),
+            burst: None,
         }
     }
 
@@ -544,6 +799,12 @@ impl Gossip {
         &self.rejected
     }
 
+    /// Pending-buffer evictions performed so far, in eviction order (the
+    /// `FWD`-accountability trail of [`GossipConfig::pending_cap`]).
+    pub fn evictions(&self) -> &[EvictionEvent] {
+        &self.evictions
+    }
+
     /// Sequence number the next disseminated block will carry.
     pub fn next_seq(&self) -> SeqNum {
         self.next_seq
@@ -564,6 +825,11 @@ impl Gossip {
     }
 
     /// Handles a received block (lines 4–11).
+    ///
+    /// Inside a [`Gossip::begin_burst`] bracket this only buffers and
+    /// indexes the block (returning no commands); promotion,
+    /// verification, cap enforcement, and `FWD` emission are deferred to
+    /// [`Gossip::end_burst`].
     pub fn on_block(&mut self, block: Block, now: TimeMs) -> Vec<NetCommand> {
         self.stats.blocks_received += 1;
         let block_ref = block.block_ref();
@@ -571,24 +837,108 @@ impl Gossip {
             self.stats.duplicate_blocks += 1;
             return Vec::new();
         }
+        if self.burst.is_some() {
+            self.buffer_for_burst(block_ref, block);
+            return Vec::new();
+        }
         match self.config.admission {
             AdmissionMode::Index | AdmissionMode::Parallel { .. } => {
                 self.admit_indexed(block_ref, block)
             }
             AdmissionMode::Scan => {
-                self.pending.insert(
-                    block_ref,
-                    PendingBlock {
-                        block,
-                        missing: BTreeSet::new(),
-                    },
-                );
-                self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
+                self.insert_pending(block_ref, block, BTreeSet::new());
                 self.promote_pending_scan();
                 self.refresh_missing_scan();
             }
         }
+        if self.enforce_pending_cap() > 0 && self.config.admission == AdmissionMode::Scan {
+            // Eviction changed the pending set; rebuild the FWD index the
+            // scan way so traffic matches the index engines' inline
+            // bookkeeping.
+            self.refresh_missing_scan();
+        }
         self.collect_fwd_commands(now)
+    }
+
+    /// Opens a deferred-admission bracket: subsequent
+    /// [`Gossip::on_block`] calls only index, and [`Gossip::end_burst`]
+    /// runs one cross-cascade promotion over everything received (see
+    /// the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bracket is already open.
+    pub fn begin_burst(&mut self) {
+        assert!(self.burst.is_none(), "admission burst already open");
+        self.burst = Some(BurstState::default());
+    }
+
+    /// Closes the deferred-admission bracket: computes the full ready
+    /// frontier across all cascades, verifies it wave by wave in
+    /// `(builder, seq, ref)` order, promotes, enforces the pending cap,
+    /// and emits any due `FWD` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bracket is open.
+    pub fn end_burst(&mut self, now: TimeMs) -> Vec<NetCommand> {
+        let burst = self.burst.take().expect("no admission burst open");
+        // Nothing new arrived (duplicates, FWD requests): nothing can
+        // have become ready, so skip promotion entirely — a duplicate
+        // flood must not buy O(pending) work per bracket.
+        let verified = if burst.arrived.is_empty() {
+            0
+        } else {
+            match self.config.admission {
+                AdmissionMode::Index | AdmissionMode::Parallel { .. } => {
+                    self.promote_burst_indexed(&burst.arrived)
+                }
+                AdmissionMode::Scan => {
+                    let verified = self.promote_burst_scan();
+                    self.refresh_missing_scan();
+                    verified
+                }
+            }
+        };
+        self.batch_verifier.note_burst(verified);
+        self.wave_stats.bursts += 1;
+        self.wave_stats.burst_blocks += burst.arrived.len() as u64;
+        if self.enforce_pending_cap() > 0 && self.config.admission == AdmissionMode::Scan {
+            self.refresh_missing_scan();
+        }
+        self.collect_fwd_commands(now)
+    }
+
+    /// Delivers a whole burst of blocks through one
+    /// [`Gossip::begin_burst`]/[`Gossip::end_burst`] bracket.
+    pub fn on_block_burst(
+        &mut self,
+        blocks: impl IntoIterator<Item = Block>,
+        now: TimeMs,
+    ) -> Vec<NetCommand> {
+        self.begin_burst();
+        for block in blocks {
+            let commands = self.on_block(block, now);
+            debug_assert!(commands.is_empty(), "bracketed on_block defers commands");
+        }
+        self.end_burst(now)
+    }
+
+    /// Buffers one block inside a burst bracket — O(1) beyond the insert:
+    /// no verification, no promotion, and (unlike per-message indexing)
+    /// no per-predecessor bookkeeping. The whole burst's dependency
+    /// analysis happens once, in [`Gossip::end_burst`]'s single pass.
+    fn buffer_for_burst(&mut self, block_ref: BlockRef, block: Block) {
+        // The block is no longer wanted from the network (the FWD view
+        // is rebuilt wholesale at `end_burst`; dropping the entry early
+        // keeps the map small).
+        self.missing.remove(&block_ref);
+        self.insert_pending(block_ref, block, BTreeSet::new());
+        self.burst
+            .as_mut()
+            .expect("bracket open")
+            .arrived
+            .push(block_ref);
     }
 
     /// Handles `FWD ref(B)` from `from`: if `B ∈ G`, send it back
@@ -645,6 +995,15 @@ impl Gossip {
     /// missing. Equivalent to the scan engine (see `promote_pending_scan`)
     /// but costs O(preds · log) per block instead of a full-buffer rescan.
     fn admit_indexed(&mut self, block_ref: BlockRef, block: Block) {
+        if self.index_block(block_ref, block) {
+            self.promote_cascade(block_ref);
+        }
+    }
+
+    /// Buffers `block` and indexes its missing predecessors (reverse
+    /// dependency index plus `FWD` bookkeeping); returns whether the
+    /// block is immediately ready for promotion.
+    fn index_block(&mut self, block_ref: BlockRef, block: Block) -> bool {
         // The block is no longer wanted from the network: it is now either
         // pending (indexed below) or about to be promoted.
         self.missing.remove(&block_ref);
@@ -654,13 +1013,7 @@ impl Gossip {
             .filter(|p| !self.dag.contains(p))
             .copied()
             .collect();
-        if missing.is_empty() {
-            self.pending
-                .insert(block_ref, PendingBlock { block, missing });
-            self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
-            self.promote_cascade(block_ref);
-            return;
-        }
+        let ready = missing.is_empty();
         for pred in &missing {
             self.waiters.entry(*pred).or_default().insert(block_ref);
             // Request the predecessor from the network unless it is already
@@ -678,9 +1031,51 @@ impl Gossip {
                     });
             }
         }
-        self.pending
-            .insert(block_ref, PendingBlock { block, missing });
+        self.insert_pending(block_ref, block, missing);
+        ready
+    }
+
+    /// Inserts a block into the pending buffer, stamping its arrival and
+    /// mirroring it into the eviction queue.
+    fn insert_pending(&mut self, block_ref: BlockRef, block: Block, missing: BTreeSet<BlockRef>) {
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        let stranded = block.preds().iter().any(|p| self.stranded_refs.contains(p));
+        self.eviction_queue.insert((!stranded, arrival, block_ref));
+        self.pending.insert(
+            block_ref,
+            PendingBlock {
+                block,
+                missing,
+                arrival,
+                stranded,
+            },
+        );
         self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
+        if stranded {
+            // Publish the doom (later arrivals citing this block strand
+            // at insertion) and re-rank earlier-arrived waiters, which
+            // are doomed too. Inside an index-engine bracket the waiters
+            // walk is deferred — the reverse index is not yet built for
+            // the burst — to `index_arrived`/the post-cascade rebuild;
+            // the scan oracle's rescan needs no index, so it marks
+            // eagerly either way.
+            self.stranded_refs.insert(block_ref);
+            if self.burst.is_none() || self.config.admission == AdmissionMode::Scan {
+                self.mark_never_promotable(block_ref);
+            }
+        }
+    }
+
+    /// Removes a block from the pending buffer and the eviction queue
+    /// (the stored `stranded` flag reconstructs the queue key exactly).
+    fn take_pending(&mut self, block_ref: &BlockRef) -> PendingBlock {
+        let entry = self.pending.remove(block_ref).expect("block pending");
+        let removed = self
+            .eviction_queue
+            .remove(&(!entry.stranded, entry.arrival, *block_ref));
+        debug_assert!(removed, "eviction queue mirrors pending");
+        entry
     }
 
     /// Promotes `start` and every pending block its admission unblocks,
@@ -707,60 +1102,485 @@ impl Gossip {
             }
             let block_ref = ready.pop_first().expect("front exists");
             let verdict = verdicts.remove(&block_ref).expect("wave verified front");
-            let entry = self
-                .pending
-                .remove(&block_ref)
-                .expect("ready block pending");
-            match self.validate_with(&entry.block, verdict) {
-                Validity::Valid => {
-                    self.dag.insert(entry.block).expect("preds checked");
-                    // Line 8: B.preds := B.preds · [ref(B')]. Appending once
-                    // per block is Lemma A.6 (correct servers reference a
-                    // block at most once).
-                    self.current_preds.push(block_ref);
-                    self.stats.blocks_validated += 1;
-                    self.missing.remove(&block_ref);
-                    // Wake the waiters: drop the satisfied dependency and
-                    // queue any block that just became fully satisfied.
-                    if let Some(waiting) = self.waiters.remove(&block_ref) {
-                        for waiter in waiting {
-                            if let Some(pending) = self.pending.get_mut(&waiter) {
-                                pending.missing.remove(&block_ref);
-                                if pending.missing.is_empty() {
-                                    ready.insert(waiter);
-                                }
+            let entry = self.take_pending(&block_ref);
+            self.settle_ready(block_ref, entry, verdict, &mut ready);
+        }
+    }
+
+    /// Applies the validation outcome for one ready block (all preds in
+    /// the DAG, signature verdict pre-computed where applicable): inserts
+    /// and references it, or records the rejection and re-lists its
+    /// reference as missing for any surviving waiters. Blocks whose last
+    /// missing dependency this settles are added to `unlocked` — the
+    /// cascade's ready set, or the burst engine's next frontier.
+    fn settle_ready(
+        &mut self,
+        block_ref: BlockRef,
+        entry: PendingBlock,
+        verdict: Option<bool>,
+        unlocked: &mut BTreeSet<BlockRef>,
+    ) {
+        match self.validate_with(&entry.block, verdict) {
+            Validity::Valid => {
+                self.dag.insert(entry.block).expect("preds checked");
+                // Line 8: B.preds := B.preds · [ref(B')]. Appending once
+                // per block is Lemma A.6 (correct servers reference a
+                // block at most once).
+                self.current_preds.push(block_ref);
+                self.stats.blocks_validated += 1;
+                self.missing.remove(&block_ref);
+                // Wake the waiters: drop the satisfied dependency and
+                // queue any block that just became fully satisfied.
+                if let Some(waiting) = self.waiters.remove(&block_ref) {
+                    for waiter in waiting {
+                        if let Some(pending) = self.pending.get_mut(&waiter) {
+                            pending.missing.remove(&block_ref);
+                            if pending.missing.is_empty() {
+                                unlocked.insert(waiter);
                             }
                         }
                     }
                 }
-                Validity::Invalid(reason) => {
-                    self.stats.invalid_blocks += 1;
-                    self.rejected.push((block_ref, reason));
-                    self.missing.remove(&block_ref);
-                    // Blocks referencing the rejected block keep waiting
-                    // (its ref can never enter the DAG); it counts as
-                    // missing-from-the-network again, exactly as the scan
-                    // engine's rebuild would re-list it.
-                    if let Some(waiting) = self.waiters.get(&block_ref) {
-                        let candidates: BTreeSet<ServerId> = waiting
-                            .iter()
-                            .filter_map(|w| self.pending.get(w))
-                            .map(|p| p.block.builder())
-                            .collect();
-                        if !candidates.is_empty() {
-                            self.missing.insert(
-                                block_ref,
-                                FwdState {
-                                    candidates,
-                                    last_sent: None,
-                                    attempts: 0,
-                                },
-                            );
+            }
+            Validity::Invalid(reason) => {
+                self.record_rejection(block_ref, reason);
+                self.missing.remove(&block_ref);
+                // Blocks referencing the rejected block keep waiting
+                // (its ref can never enter the DAG); it counts as
+                // missing-from-the-network again, exactly as the scan
+                // engine's rebuild would re-list it.
+                if let Some(waiting) = self.waiters.get(&block_ref) {
+                    let candidates: BTreeSet<ServerId> = waiting
+                        .iter()
+                        .filter_map(|w| self.pending.get(w))
+                        .map(|p| p.block.builder())
+                        .collect();
+                    if !candidates.is_empty() {
+                        self.missing.insert(
+                            block_ref,
+                            FwdState {
+                                candidates,
+                                last_sent: None,
+                                attempts: 0,
+                            },
+                        );
+                    }
+                }
+            }
+            Validity::MissingPreds => {
+                unreachable!("ready block had all preds in the DAG")
+            }
+        }
+    }
+
+    /// Accounting shared by every rejection path: the audit log, the
+    /// counter, and publishing the reference as never-promotable.
+    fn note_rejection(&mut self, block_ref: BlockRef, reason: InvalidBlockError) {
+        self.stats.invalid_blocks += 1;
+        self.rejected.push((block_ref, reason));
+        self.stranded_refs.insert(block_ref);
+    }
+
+    /// [`Gossip::note_rejection`] plus the engine-appropriate transitive
+    /// marking — the rejection entry point for every non-burst path (the
+    /// burst cascade walks its own adjacency instead of the waiters map,
+    /// which is stale mid-bracket).
+    fn record_rejection(&mut self, block_ref: BlockRef, reason: InvalidBlockError) {
+        self.note_rejection(block_ref, reason);
+        self.mark_never_promotable(block_ref);
+    }
+
+    /// Marks one buffered block never-promotable: flips its eviction
+    /// rank and publishes its reference (dooming later arrivals that
+    /// cite it). Returns whether this was a fresh marking — `false` for
+    /// non-buffered references and already-marked blocks, so traversals
+    /// can use it as their visited check.
+    fn strand_pending(&mut self, block_ref: BlockRef) -> bool {
+        let Some(pending) = self.pending.get_mut(&block_ref) else {
+            return false;
+        };
+        if pending.stranded {
+            return false;
+        }
+        pending.stranded = true;
+        let arrival = pending.arrival;
+        self.eviction_queue.remove(&(true, arrival, block_ref));
+        self.eviction_queue.insert((false, arrival, block_ref));
+        self.stranded_refs.insert(block_ref);
+        true
+    }
+
+    /// Marks `root` — and, transitively, every buffered block referencing
+    /// it — as never-promotable, re-ranking affected pending blocks to
+    /// the front of the eviction order. The index engines walk the
+    /// reverse dependency index; the scan oracle rescans the pending
+    /// buffer to a fixed point (its usual cost model). Later arrivals
+    /// referencing a marked reference are stranded at insertion.
+    fn mark_never_promotable(&mut self, root: BlockRef) {
+        self.stranded_refs.insert(root);
+        match self.config.admission {
+            AdmissionMode::Index | AdmissionMode::Parallel { .. } => {
+                self.strand_pending(root);
+                let mut stack = vec![root];
+                while let Some(r) = stack.pop() {
+                    let waiting: Vec<BlockRef> = self
+                        .waiters
+                        .get(&r)
+                        .into_iter()
+                        .flatten()
+                        .copied()
+                        .collect();
+                    for waiter in waiting {
+                        if self.strand_pending(waiter) {
+                            stack.push(waiter);
                         }
                     }
                 }
-                Validity::MissingPreds => {
-                    unreachable!("ready block had all preds in the DAG")
+            }
+            AdmissionMode::Scan => {
+                self.strand_pending(root);
+                loop {
+                    let newly: Vec<BlockRef> = self
+                        .pending
+                        .iter()
+                        .filter(|(_, p)| {
+                            !p.stranded
+                                && p.block
+                                    .preds()
+                                    .iter()
+                                    .any(|q| self.stranded_refs.contains(q))
+                        })
+                        .map(|(r, _)| *r)
+                        .collect();
+                    if newly.is_empty() {
+                        break;
+                    }
+                    for block_ref in newly {
+                        self.strand_pending(block_ref);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cross-cascade burst promotion (index engines), in one of two
+    /// byte-equivalent gears picked by burst-vs-backlog size:
+    ///
+    /// * **Whole-buffer analysis** (the burst dominates the buffer): one
+    ///   pass builds missing-predecessor *counts* and a reverse
+    ///   adjacency of `Vec`s — an order of magnitude cheaper than the
+    ///   per-block `BTreeSet` surgery the incremental index pays per
+    ///   delivery. The canonical incremental index is rebuilt for the
+    ///   few survivors afterwards. Every whole-buffer pass is amortized
+    ///   by the burst's size.
+    /// * **Incremental indexing** (a small burst against a large — e.g.
+    ///   flood-filled — backlog): only the arrived blocks are indexed,
+    ///   the per-message way, so a capped byzantine backlog cannot
+    ///   amplify per-bracket cost to O(pending).
+    ///
+    /// Either way, promotion repeatedly takes the whole ready frontier
+    /// as one wave in canonical `(builder, seq, ref)` order and
+    /// batch-verifies it — pipelined across the worker pool under
+    /// [`AdmissionMode::Parallel`] — before settling in wave order.
+    /// Returns the number of signatures checked.
+    fn promote_burst_indexed(&mut self, arrived: &[BlockRef]) -> u64 {
+        if arrived.len() * DEFERRED_ANALYSIS_FACTOR < self.pending.len() {
+            return self.promote_burst_incremental(arrived);
+        }
+        // Hash maps, not ordered maps: these are keyed lookups only —
+        // never iterated — so map order can't leak into any observable,
+        // and hashing a 32-byte ref beats walking a comparison tree on
+        // the per-edge hot path. Wave order (the only place order
+        // matters) comes from `BTreeSet` frontiers + `wave_order`.
+        let mut counts: HashMap<BlockRef, usize> = HashMap::with_capacity(self.pending.len());
+        let mut adjacency: HashMap<BlockRef, Vec<BlockRef>> =
+            HashMap::with_capacity(self.pending.len());
+        let mut frontier: BTreeSet<BlockRef> = BTreeSet::new();
+        for (block_ref, pending) in &self.pending {
+            let mut count = 0;
+            for pred in pending.block.preds() {
+                if !self.dag.contains(pred) {
+                    count += 1;
+                    adjacency.entry(*pred).or_default().push(*block_ref);
+                }
+            }
+            if count == 0 {
+                frontier.insert(*block_ref);
+            } else {
+                counts.insert(*block_ref, count);
+            }
+        }
+        let mut verified = 0;
+        let mut wave = self.wave_order(frontier);
+        while !wave.is_empty() {
+            let mut unlocked = BTreeSet::new();
+            verified += self.promote_wave_by(&wave, &mut |gossip, block_ref, entry, verdict| {
+                gossip.settle_burst(
+                    block_ref,
+                    entry,
+                    verdict,
+                    &mut adjacency,
+                    &mut counts,
+                    &mut unlocked,
+                )
+            });
+            wave = self.wave_order(unlocked);
+        }
+        self.rebuild_dependency_index();
+        verified
+    }
+
+    /// The small-burst gear: index just the arrived blocks the
+    /// per-message way (in arrival order, so `FWD` bookkeeping matches
+    /// the incremental engine exactly), then promote the resulting roots
+    /// with the shared wave scheduler over the maintained waiters index.
+    fn promote_burst_incremental(&mut self, arrived: &[BlockRef]) -> u64 {
+        let mut frontier: BTreeSet<BlockRef> = BTreeSet::new();
+        for block_ref in arrived {
+            if self.index_arrived(*block_ref) {
+                frontier.insert(*block_ref);
+            }
+        }
+        let mut verified = 0;
+        let mut wave = self.wave_order(frontier);
+        while !wave.is_empty() {
+            let mut unlocked = BTreeSet::new();
+            verified += self.promote_wave_by(&wave, &mut |gossip, block_ref, entry, verdict| {
+                gossip.settle_ready(block_ref, entry, verdict, &mut unlocked)
+            });
+            wave = self.wave_order(unlocked);
+        }
+        verified
+    }
+
+    /// Indexes one block that `buffer_for_burst` parked earlier: the
+    /// missing-predecessor set, the reverse waiters index, and the `FWD`
+    /// view, exactly as [`Gossip::index_block`] would have at delivery
+    /// time. Returns whether the block is ready for promotion.
+    fn index_arrived(&mut self, block_ref: BlockRef) -> bool {
+        let block = self.pending[&block_ref].block.clone();
+        let missing: BTreeSet<BlockRef> = block
+            .preds()
+            .iter()
+            .filter(|p| !self.dag.contains(p))
+            .copied()
+            .collect();
+        let ready = missing.is_empty();
+        for pred in &missing {
+            self.waiters.entry(*pred).or_default().insert(block_ref);
+            if !self.pending.contains_key(pred) {
+                self.missing
+                    .entry(*pred)
+                    .and_modify(|state| {
+                        state.candidates.insert(block.builder());
+                    })
+                    .or_insert_with(|| FwdState {
+                        candidates: BTreeSet::from([block.builder()]),
+                        last_sent: None,
+                        attempts: 0,
+                    });
+            }
+        }
+        self.pending
+            .get_mut(&block_ref)
+            .expect("arrived block pending")
+            .missing = missing;
+        // Stranded propagation deferred from buffering: now that this
+        // block (and everything before it) is indexed, the waiters walk
+        // is complete for already-indexed ancestors; later arrivals
+        // self-check against `stranded_refs` at their own turn.
+        if block.preds().iter().any(|p| self.stranded_refs.contains(p)) {
+            self.mark_never_promotable(block_ref);
+        }
+        ready
+    }
+
+    /// Restores the incremental engine's canonical state for whatever the
+    /// burst cascade left pending: per-block missing sets, the reverse
+    /// waiters index, and the `FWD` view — so per-message deliveries
+    /// after the bracket resume on exactly the state they would have
+    /// maintained themselves.
+    fn rebuild_dependency_index(&mut self) {
+        self.waiters.clear();
+        let refs: Vec<BlockRef> = self.pending.keys().copied().collect();
+        for block_ref in refs {
+            let missing: BTreeSet<BlockRef> = self.pending[&block_ref]
+                .block
+                .preds()
+                .iter()
+                .filter(|p| !self.dag.contains(p))
+                .copied()
+                .collect();
+            for pred in &missing {
+                self.waiters.entry(*pred).or_default().insert(block_ref);
+            }
+            self.pending
+                .get_mut(&block_ref)
+                .expect("iterating live refs")
+                .missing = missing;
+        }
+        // Close the ranking gaps deferred buffering left: any
+        // never-promotable reference strands its (freshly rebuilt)
+        // waiters transitively.
+        let stranded_roots: Vec<BlockRef> = self
+            .waiters
+            .keys()
+            .filter(|pred| self.stranded_refs.contains(pred))
+            .copied()
+            .collect();
+        for root in stranded_roots {
+            self.mark_never_promotable(root);
+        }
+        self.refresh_missing_scan();
+    }
+
+    /// Sorts a ready frontier into the canonical burst wave order,
+    /// `(builder, seq, ref)` — same-builder runs become contiguous, which
+    /// keys the verifier's per-server schedules coherently.
+    fn wave_order(&self, refs: BTreeSet<BlockRef>) -> Vec<BlockRef> {
+        let mut wave: Vec<(usize, u64, BlockRef)> = refs
+            .into_iter()
+            .map(|r| {
+                let block = &self.pending[&r].block;
+                (block.builder().index(), block.seq().value(), r)
+            })
+            .collect();
+        wave.sort_unstable();
+        wave.into_iter().map(|(_, _, r)| r).collect()
+    }
+
+    /// Verifies one burst wave (already in canonical order) and settles
+    /// each block through `settle` — [`Gossip::settle_burst`] for the
+    /// analysis gear, [`Gossip::settle_ready`] for the incremental gear.
+    /// Returns the number of signatures checked. Blocks claiming an
+    /// unknown builder are settled without a verdict — `validate_with`
+    /// rejects them before the signature, exactly like the per-message
+    /// engines.
+    fn promote_wave_by<F>(&mut self, wave: &[BlockRef], settle: &mut F) -> u64
+    where
+        F: FnMut(&mut Gossip, BlockRef, PendingBlock, Option<bool>),
+    {
+        let items: Vec<SignedDigest> = wave
+            .iter()
+            .map(|r| &self.pending[r].block)
+            .filter(|block| block.builder().index() < self.config.n)
+            .map(|block| block.signed_digest())
+            .collect();
+        if !items.is_empty() {
+            self.wave_stats.record(items.len());
+        }
+        // Take the pool out so settling (which needs `&mut self`) can
+        // interleave with the in-flight verification it holds.
+        let pool = self.pool.take();
+        match &pool {
+            Some(pool) => {
+                let mut stream = pool.stream(&items);
+                for block_ref in wave {
+                    let entry = self.take_pending(block_ref);
+                    let verdict = (entry.block.builder().index() < self.config.n)
+                        .then(|| stream.next_verdict());
+                    settle(self, *block_ref, entry, verdict);
+                }
+            }
+            None => {
+                let mut results = self.batch_verifier.verify_batch(&items).into_iter();
+                for block_ref in wave {
+                    let entry = self.take_pending(block_ref);
+                    let verdict = (entry.block.builder().index() < self.config.n)
+                        .then(|| results.next().expect("one verdict per item"));
+                    settle(self, *block_ref, entry, verdict);
+                }
+            }
+        }
+        self.pool = pool;
+        items.len() as u64
+    }
+
+    /// Burst-mode settle: identical validation outcome to
+    /// [`Gossip::settle_ready`], with waiters driven by the burst's count
+    /// index instead of the incremental maps (which are rebuilt wholesale
+    /// after the cascade).
+    fn settle_burst(
+        &mut self,
+        block_ref: BlockRef,
+        entry: PendingBlock,
+        verdict: Option<bool>,
+        adjacency: &mut HashMap<BlockRef, Vec<BlockRef>>,
+        counts: &mut HashMap<BlockRef, usize>,
+        unlocked: &mut BTreeSet<BlockRef>,
+    ) {
+        match self.validate_with(&entry.block, verdict) {
+            Validity::Valid => {
+                self.dag.insert(entry.block).expect("preds checked");
+                self.current_preds.push(block_ref);
+                self.stats.blocks_validated += 1;
+                for waiter in adjacency.remove(&block_ref).unwrap_or_default() {
+                    if let Some(count) = counts.get_mut(&waiter) {
+                        *count -= 1;
+                        if *count == 0 {
+                            counts.remove(&waiter);
+                            unlocked.insert(waiter);
+                        }
+                    }
+                }
+            }
+            Validity::Invalid(reason) => {
+                self.note_rejection(block_ref, reason);
+                // Everything transitively referencing the rejection is
+                // never-promotable: mark along the burst adjacency (the
+                // waiters map is stale mid-bracket; the FWD re-listing
+                // for surviving waiters happens in the post-cascade
+                // index rebuild).
+                let mut stack = vec![block_ref];
+                while let Some(r) = stack.pop() {
+                    let waiting: Vec<BlockRef> =
+                        adjacency.get(&r).into_iter().flatten().copied().collect();
+                    for waiter in waiting {
+                        if self.strand_pending(waiter) {
+                            stack.push(waiter);
+                        }
+                    }
+                }
+            }
+            Validity::MissingPreds => {
+                unreachable!("wave block had all preds in the DAG")
+            }
+        }
+    }
+
+    /// Burst promotion under the scan oracle: the same canonical wave
+    /// schedule, with readiness recomputed by rescanning the pending
+    /// buffer and one signature check per candidate (no batching — the
+    /// scan engine stays the paper-literal baseline). Always returns 0
+    /// batched verifications.
+    fn promote_burst_scan(&mut self) -> u64 {
+        loop {
+            let frontier: BTreeSet<BlockRef> = self
+                .pending
+                .iter()
+                .filter(|(_, pending)| pending.block.preds().iter().all(|p| self.dag.contains(p)))
+                .map(|(r, _)| *r)
+                .collect();
+            let wave = self.wave_order(frontier);
+            if wave.is_empty() {
+                return 0;
+            }
+            for block_ref in wave {
+                let entry = self.take_pending(&block_ref);
+                match self.validate(&entry.block) {
+                    Validity::Valid => {
+                        self.dag.insert(entry.block).expect("preds checked");
+                        self.current_preds.push(block_ref);
+                        self.stats.blocks_validated += 1;
+                        self.missing.remove(&block_ref);
+                    }
+                    Validity::Invalid(reason) => {
+                        self.record_rejection(block_ref, reason);
+                        self.missing.remove(&block_ref);
+                    }
+                    Validity::MissingPreds => {
+                        unreachable!("frontier block had all preds in the DAG")
+                    }
                 }
             }
         }
@@ -788,7 +1608,7 @@ impl Gossip {
             let Some(block_ref) = candidate else {
                 return;
             };
-            let entry = self.pending.remove(&block_ref).expect("candidate pending");
+            let entry = self.take_pending(&block_ref);
             match self.validate(&entry.block) {
                 Validity::Valid => {
                     self.dag.insert(entry.block).expect("preds checked");
@@ -797,13 +1617,82 @@ impl Gossip {
                     self.missing.remove(&block_ref);
                 }
                 Validity::Invalid(reason) => {
-                    self.stats.invalid_blocks += 1;
-                    self.rejected.push((block_ref, reason));
+                    self.record_rejection(block_ref, reason);
                     self.missing.remove(&block_ref);
                 }
                 Validity::MissingPreds => {
                     unreachable!("candidate had all preds in the DAG")
                 }
+            }
+        }
+    }
+
+    /// Trims the pending buffer to [`GossipConfig::pending_cap`] by
+    /// deterministic eviction — oldest never-promotable first (a block
+    /// transitively referencing a rejected block), then oldest overall.
+    /// Returns the number of blocks evicted.
+    fn enforce_pending_cap(&mut self) -> usize {
+        let mut evicted = 0;
+        while self.pending.len() > self.config.pending_cap {
+            let (_, _, victim) = *self.eviction_queue.first().expect("queue mirrors pending");
+            self.evict_pending(victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Evicts one pending block: un-indexes it, logs the accountability
+    /// event, and re-lists its reference as missing for any surviving
+    /// waiters so the `FWD` path can re-fetch it.
+    fn evict_pending(&mut self, victim: BlockRef) {
+        let entry = self.take_pending(&victim);
+        self.stats.blocks_evicted += 1;
+        let stranded_on = entry
+            .stranded
+            .then(|| {
+                entry
+                    .block
+                    .preds()
+                    .iter()
+                    .find(|p| self.stranded_refs.contains(p))
+                    .copied()
+            })
+            .flatten();
+        self.evictions.push(EvictionEvent {
+            block: victim,
+            builder: entry.block.builder(),
+            stranded_on,
+        });
+        // Un-index (index engines; the scan oracle rebuilds its FWD view
+        // by rescanning): the victim stops waiting on its missing preds,
+        // and preds nobody else waits for stop being requested.
+        for pred in &entry.missing {
+            if let Some(waiting) = self.waiters.get_mut(pred) {
+                waiting.remove(&victim);
+                if waiting.is_empty() {
+                    self.waiters.remove(pred);
+                    self.missing.remove(pred);
+                }
+            }
+        }
+        // The victim counts as never-received again: if other pending
+        // blocks reference it, re-list it for FWD recovery (same shape as
+        // the rejected-block path, minus the permanence).
+        if let Some(waiting) = self.waiters.get(&victim) {
+            let candidates: BTreeSet<ServerId> = waiting
+                .iter()
+                .filter_map(|w| self.pending.get(w))
+                .map(|p| p.block.builder())
+                .collect();
+            if !candidates.is_empty() {
+                self.missing.insert(
+                    victim,
+                    FwdState {
+                        candidates,
+                        last_sent: None,
+                        attempts: 0,
+                    },
+                );
             }
         }
     }
@@ -1267,6 +2156,398 @@ mod tests {
         for other in &own[1..] {
             assert_eq!(&own[0], other, "current block preds diverged");
         }
+    }
+
+    /// Drives all three engines through the same schedule via
+    /// `on_block_burst` (one bracket per `chunk` blocks) and asserts every
+    /// observable is identical across engines.
+    fn assert_engines_agree_on_bursts(
+        deliveries: &[Block],
+        chunk: usize,
+        n: usize,
+        registry: &KeyRegistry,
+    ) {
+        let mut engines: Vec<Gossip> = ALL_MODES
+            .iter()
+            .map(|mode| gossip_for_mode(registry, 0, n, *mode))
+            .collect();
+        for (at, burst) in deliveries.chunks(chunk).enumerate() {
+            let commands: Vec<Vec<NetCommand>> = engines
+                .iter_mut()
+                .map(|engine| engine.on_block_burst(burst.iter().cloned(), at as TimeMs))
+                .collect();
+            for other in &commands[1..] {
+                assert_eq!(&commands[0], other, "burst commands diverged at {at}");
+            }
+        }
+        let reference_refs: Vec<BlockRef> =
+            engines[0].dag().iter().map(|b| b.block_ref()).collect();
+        for other in &engines[1..] {
+            let other_refs: Vec<BlockRef> = other.dag().iter().map(|b| b.block_ref()).collect();
+            assert_eq!(reference_refs, other_refs, "burst promotion order diverged");
+            assert_eq!(engines[0].pending_len(), other.pending_len());
+            assert_eq!(engines[0].stats(), other.stats());
+            assert_eq!(engines[0].rejected(), other.rejected());
+            assert_eq!(engines[0].evictions(), other.evictions());
+        }
+        // Wave structure: identical between the batching engines, absent
+        // under the scan oracle; burst brackets counted by all.
+        assert_eq!(engines[0].wave_stats(), engines[2].wave_stats());
+        assert_eq!(engines[1].wave_stats().waves, 0);
+        assert_eq!(
+            engines[1].wave_stats().bursts,
+            engines[0].wave_stats().bursts
+        );
+        assert_eq!(
+            engines[1].wave_stats().burst_blocks,
+            engines[0].wave_stats().burst_blocks
+        );
+        let own: Vec<Block> = engines
+            .iter_mut()
+            .map(|engine| engine.disseminate(vec![], 1_000).0)
+            .collect();
+        for other in &own[1..] {
+            assert_eq!(
+                own[0].wire_bytes(),
+                other.wire_bytes(),
+                "burst own-block bytes diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_burst_ingest_of_hostile_soup() {
+        let registry = KeyRegistry::generate(3, 1);
+        let mut bob = gossip_for(&registry, 1, 3);
+        let mut blocks: Vec<Block> = (0..12).map(|t| bob.disseminate(vec![], t).0).collect();
+        blocks.reverse();
+        // Whole-soup bracket and a split into small brackets.
+        for chunk in [blocks.len(), 5] {
+            assert_engines_agree_on_bursts(&blocks, chunk, 3, &registry);
+        }
+    }
+
+    #[test]
+    fn burst_ingest_admits_what_per_message_ingest_admits() {
+        // The promotion fixed point is confluent: deferring a burst can
+        // reorder promotions but never change the admitted set, the
+        // rejections, or the validation counts.
+        let registry = KeyRegistry::generate(3, 1);
+        let mut bob = gossip_for(&registry, 1, 3);
+        let blocks: Vec<Block> = (0..9).map(|t| bob.disseminate(vec![], t).0).collect();
+        let forged = Block::build_with_signature(
+            ServerId::new(2),
+            SeqNum::ZERO,
+            vec![],
+            vec![],
+            dagbft_crypto::Signature::NULL,
+        );
+        let mut schedule: Vec<Block> = blocks.iter().rev().cloned().collect();
+        schedule.insert(4, forged);
+        for mode in ALL_MODES {
+            let mut one_at_a_time = gossip_for_mode(&registry, 0, 3, mode);
+            for (t, block) in schedule.iter().enumerate() {
+                one_at_a_time.on_block(block.clone(), t as TimeMs);
+            }
+            let mut bursty = gossip_for_mode(&registry, 0, 3, mode);
+            bursty.on_block_burst(schedule.iter().cloned(), 0);
+            let set = |g: &Gossip| {
+                g.dag()
+                    .refs()
+                    .copied()
+                    .collect::<std::collections::BTreeSet<_>>()
+            };
+            assert_eq!(set(&one_at_a_time), set(&bursty), "{mode:?}: admitted set");
+            assert_eq!(one_at_a_time.rejected(), bursty.rejected(), "{mode:?}");
+            assert_eq!(
+                one_at_a_time.stats().blocks_validated,
+                bursty.stats().blocks_validated,
+                "{mode:?}"
+            );
+            assert_eq!(
+                one_at_a_time.stats().invalid_blocks,
+                bursty.stats().invalid_blocks,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_widens_waves_past_per_message_ingest() {
+        // An in-order 4-builder soup: per-message ingest promotes each
+        // block alone (waves of 1); one burst bracket promotes whole
+        // rounds (waves of 4) — the widening that feeds the pool.
+        let registry = KeyRegistry::generate(5, 9);
+        let signers: Vec<_> = (1..5)
+            .map(|i| registry.signer(ServerId::new(i)).unwrap())
+            .collect();
+        let mut blocks = Vec::new();
+        let mut prev: Vec<BlockRef> = Vec::new();
+        for round in 0..6u64 {
+            let mut layer = Vec::new();
+            for signer in &signers {
+                let block = Block::build(
+                    signer.id(),
+                    SeqNum::new(round),
+                    prev.clone(),
+                    vec![],
+                    signer,
+                );
+                layer.push(block.block_ref());
+                blocks.push(block);
+            }
+            prev = layer;
+        }
+        let mut per_message = gossip_for_mode(&registry, 0, 5, AdmissionMode::Index);
+        for block in &blocks {
+            per_message.on_block(block.clone(), 0);
+        }
+        assert_eq!(per_message.wave_stats().largest_wave, 1);
+        let mut bursty = gossip_for_mode(&registry, 0, 5, AdmissionMode::Index);
+        bursty.on_block_burst(blocks.iter().cloned(), 0);
+        assert_eq!(bursty.dag().len(), blocks.len());
+        assert_eq!(bursty.wave_stats().largest_wave, 4);
+        assert_eq!(bursty.wave_stats().smallest_wave, 4);
+        assert_eq!(bursty.wave_stats().waves, 6);
+        assert_eq!(bursty.wave_stats().bursts, 1);
+        assert_eq!(bursty.wave_stats().burst_blocks, blocks.len() as u64);
+        // Histogram: six waves of width 4 land in the [4, 8) bucket.
+        assert_eq!(bursty.wave_stats().width_histogram[2], 6);
+        assert!((bursty.wave_stats().mean_wave() - 4.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn pending_cap_evicts_stranded_first_and_fwd_recovers() {
+        let registry = KeyRegistry::generate(3, 1);
+        let signer1 = registry.signer(ServerId::new(1)).unwrap();
+        // A rejected block (two distinct parents) with a flood of
+        // stranded descendants, plus an honest gap: b1 arrives before b0.
+        let g_a = Block::build(ServerId::new(1), SeqNum::ZERO, vec![], vec![], &signer1);
+        let g_b = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(crate::Label::new(1), &9u8)],
+            &signer1,
+        );
+        let two_parents = Block::build(
+            ServerId::new(1),
+            SeqNum::new(1),
+            vec![g_a.block_ref(), g_b.block_ref()],
+            vec![],
+            &signer1,
+        );
+        let mut stranded_chain = Vec::new();
+        let mut parent = two_parents.block_ref();
+        for k in 2..8u64 {
+            let child = Block::build(
+                ServerId::new(1),
+                SeqNum::new(k),
+                vec![parent],
+                vec![],
+                &signer1,
+            );
+            parent = child.block_ref();
+            stranded_chain.push(child);
+        }
+        let mut bob = gossip_for(&registry, 2, 3);
+        let (bob_b0, _) = bob.disseminate(vec![], 0);
+        let (bob_b1, _) = bob.disseminate(vec![], 1);
+
+        for mode in ALL_MODES {
+            let mut alice = Gossip::new(
+                ServerId::new(0),
+                GossipConfig::for_n(3)
+                    .with_admission(mode)
+                    .with_pending_cap(3),
+                registry.signer(ServerId::new(0)).unwrap(),
+                registry.verifier(),
+            );
+            alice.on_block(g_a.clone(), 0);
+            alice.on_block(g_b.clone(), 0);
+            alice.on_block(two_parents.clone(), 0); // rejected
+            alice.on_block(bob_b1.clone(), 1); // honest, waits for b0
+            for (t, block) in stranded_chain.iter().enumerate() {
+                alice.on_block(block.clone(), 2 + t as TimeMs);
+            }
+            // The flood stayed within the cap; the honest waiter survived
+            // because stranded blocks are evicted first.
+            assert!(alice.pending_len() <= 3, "{mode:?}");
+            assert!(alice.stats().blocks_evicted > 0, "{mode:?}");
+            assert!(
+                alice
+                    .evictions()
+                    .iter()
+                    .all(|e| e.builder == ServerId::new(1)),
+                "{mode:?}: only the flooder's blocks evicted"
+            );
+            assert!(
+                alice
+                    .evictions()
+                    .iter()
+                    .any(|e| e.stranded_on == Some(two_parents.block_ref())),
+                "{mode:?}: eviction names the stranding rejection"
+            );
+            // FWD recovery still completes the honest chain.
+            alice.on_block(bob_b0.clone(), 100);
+            assert!(alice.dag().contains(&bob_b0.block_ref()), "{mode:?}");
+            assert!(alice.dag().contains(&bob_b1.block_ref()), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn evicted_block_can_be_refetched_and_admitted() {
+        // Eviction is a resource decision: a wanted block dropped under
+        // cap pressure is re-requested via FWD and admitted on re-delivery.
+        let registry = KeyRegistry::generate(2, 1);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let chain: Vec<Block> = (0..4).map(|t| bob.disseminate(vec![], t).0).collect();
+        let mut alice = Gossip::new(
+            ServerId::new(0),
+            GossipConfig::for_n(2).with_pending_cap(2),
+            registry.signer(ServerId::new(0)).unwrap(),
+            registry.verifier(),
+        );
+        // Deliver b3, b2, b1: the cap (2) evicts the oldest (b3).
+        for (t, block) in chain.iter().skip(1).rev().enumerate() {
+            alice.on_block(block.clone(), t as TimeMs);
+        }
+        assert_eq!(alice.pending_len(), 2);
+        assert_eq!(alice.stats().blocks_evicted, 1);
+        assert_eq!(alice.evictions()[0].block, chain[3].block_ref());
+        assert_eq!(alice.evictions()[0].stranded_on, None);
+        // The gap closes: b0 promotes b1 and b2. The evicted tip b3 is
+        // simply absent — until b4 references it, which triggers a FWD…
+        alice.on_block(chain[0].clone(), 10);
+        assert_eq!(alice.dag().len(), 3);
+        let (b4, _) = bob.disseminate(vec![], 20);
+        let commands = alice.on_block(b4.clone(), 30);
+        assert!(
+            commands.iter().any(|c| matches!(
+                c,
+                NetCommand::SendTo {
+                    message: NetMessage::FwdRequest(r),
+                    ..
+                } if *r == chain[3].block_ref()
+            )),
+            "evicted block re-requested: {commands:?}"
+        );
+        // …and re-delivery admits the whole chain.
+        alice.on_block(chain[3].clone(), 40);
+        assert_eq!(alice.dag().len(), 5);
+        assert_eq!(alice.pending_len(), 0);
+    }
+
+    #[test]
+    fn late_stranding_reranks_existing_waiters() {
+        // Regression: R is rejected; X (referencing unseen P) arrives and
+        // ranks as honest; then P (referencing R) arrives and is stranded
+        // at insertion. X must be re-ranked stranded too — under cap
+        // pressure the doomed chain is evicted, never the honest backlog,
+        // and the eviction queue stays exactly in sync with the buffer.
+        let registry = KeyRegistry::generate(3, 1);
+        let signer1 = registry.signer(ServerId::new(1)).unwrap();
+        let g_a = Block::build(ServerId::new(1), SeqNum::ZERO, vec![], vec![], &signer1);
+        let g_b = Block::build(
+            ServerId::new(1),
+            SeqNum::ZERO,
+            vec![],
+            vec![LabeledRequest::encode(crate::Label::new(1), &9u8)],
+            &signer1,
+        );
+        let rejected = Block::build(
+            ServerId::new(1),
+            SeqNum::new(1),
+            vec![g_a.block_ref(), g_b.block_ref()],
+            vec![],
+            &signer1,
+        );
+        let p = Block::build(
+            ServerId::new(1),
+            SeqNum::new(2),
+            vec![rejected.block_ref()],
+            vec![],
+            &signer1,
+        );
+        let x = Block::build(
+            ServerId::new(1),
+            SeqNum::new(3),
+            vec![p.block_ref()],
+            vec![],
+            &signer1,
+        );
+        let mut bob = gossip_for(&registry, 2, 3);
+        let (bob_b0, _) = bob.disseminate(vec![], 0);
+        let (bob_b1, _) = bob.disseminate(vec![], 1);
+        for mode in ALL_MODES {
+            for bursted in [false, true] {
+                let mut alice = Gossip::new(
+                    ServerId::new(0),
+                    GossipConfig::for_n(3)
+                        .with_admission(mode)
+                        .with_pending_cap(2),
+                    registry.signer(ServerId::new(0)).unwrap(),
+                    registry.verifier(),
+                );
+                let schedule = [
+                    g_a.clone(),
+                    g_b.clone(),
+                    rejected.clone(),
+                    x.clone(), // arrives before its pred P — ranked honest
+                    p.clone(), // stranded at insertion; X is doomed too
+                    bob_b1.clone(),
+                ];
+                if bursted {
+                    alice.on_block_burst(schedule, 0);
+                } else {
+                    for (t, block) in schedule.into_iter().enumerate() {
+                        alice.on_block(block, t as TimeMs);
+                    }
+                }
+                // The cap evicted from the doomed chain (oldest stranded
+                // first: X), never the honest waiter.
+                assert_eq!(alice.pending_len(), 2, "{mode:?} burst={bursted}");
+                assert_eq!(
+                    alice.evictions(),
+                    &[EvictionEvent {
+                        block: x.block_ref(),
+                        builder: ServerId::new(1),
+                        stranded_on: Some(p.block_ref()),
+                    }],
+                    "{mode:?} burst={bursted}"
+                );
+                // The honest chain still completes.
+                alice.on_block(bob_b0.clone(), 100);
+                assert!(alice.dag().contains(&bob_b1.block_ref()), "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_flood_burst_skips_promotion_work() {
+        // A bracket of pure duplicates must not pay a promotion pass.
+        let registry = KeyRegistry::generate(2, 1);
+        let mut bob = gossip_for(&registry, 1, 2);
+        let (b0, _) = bob.disseminate(vec![], 0);
+        let mut alice = gossip_for(&registry, 0, 2);
+        alice.on_block(b0.clone(), 0);
+        let waves_before = alice.wave_stats().waves;
+        alice.on_block_burst(std::iter::repeat_n(b0.clone(), 64), 1);
+        assert_eq!(alice.stats().duplicate_blocks, 64);
+        assert_eq!(alice.wave_stats().waves, waves_before);
+        assert_eq!(alice.wave_stats().bursts, 1);
+        assert_eq!(alice.wave_stats().burst_blocks, 0);
+    }
+
+    #[test]
+    fn nested_burst_bracket_panics() {
+        let registry = KeyRegistry::generate(2, 1);
+        let mut gossip = gossip_for(&registry, 0, 2);
+        gossip.begin_burst();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gossip.begin_burst();
+        }));
+        assert!(result.is_err(), "nested brackets must be rejected");
     }
 
     #[test]

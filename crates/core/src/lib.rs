@@ -74,7 +74,8 @@ pub use block::{Block, BlockRef, LabeledRequest, SeqNum};
 pub use dag::BlockDag;
 pub use error::{DagError, InvalidBlockError};
 pub use gossip::{
-    AdmissionMode, Gossip, GossipConfig, GossipStats, NetCommand, NetMessage, WaveStats,
+    AdmissionMode, EvictionEvent, Gossip, GossipConfig, GossipStats, NetCommand, NetMessage,
+    WaveStats, DEFAULT_PENDING_CAP, WAVE_WIDTH_BUCKETS,
 };
 pub use interpret::{Indication, InterpretStats, Interpreter, InterpreterFootprint};
 pub use label::Label;

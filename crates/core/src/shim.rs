@@ -49,6 +49,9 @@ pub struct ShimConfig {
     pub max_requests_per_block: usize,
     /// The gossip admission engine (see [`AdmissionMode`]).
     pub admission: AdmissionMode,
+    /// Bound on gossip's pending buffer (see
+    /// [`GossipConfig::pending_cap`]).
+    pub pending_cap: usize,
 }
 
 impl ShimConfig {
@@ -59,6 +62,7 @@ impl ShimConfig {
             fwd_retry_ms: 100,
             max_requests_per_block: 1024,
             admission: AdmissionMode::default(),
+            pending_cap: crate::gossip::DEFAULT_PENDING_CAP,
         }
     }
 
@@ -88,11 +92,19 @@ impl ShimConfig {
         self
     }
 
+    /// Bounds gossip's pending buffer (deterministic eviction past the
+    /// cap; see the gossip module docs).
+    pub fn with_pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(1);
+        self
+    }
+
     fn gossip(&self) -> GossipConfig {
         GossipConfig {
             n: self.protocol.n,
             fwd_retry_ms: self.fwd_retry_ms,
             admission: self.admission,
+            pending_cap: self.pending_cap,
         }
     }
 }
@@ -268,6 +280,36 @@ impl<P: DeterministicProtocol> Shim<P> {
         now: TimeMs,
     ) -> Vec<NetCommand> {
         let commands = self.gossip.on_message(from, message, now);
+        self.run_interpretation();
+        commands
+    }
+
+    /// Delivers a whole ingest burst through one deferred-admission
+    /// bracket: blocks are indexed first and promoted in one
+    /// cross-cascade pass ([`crate::Gossip::on_block_burst`] semantics),
+    /// `FWD` requests are answered from the DAG as it stood when the
+    /// burst began, and interpretation steps once for the whole burst
+    /// instead of once per message. This is the hot ingest path for the
+    /// simulator's burst delivery and the transport's channel drain.
+    pub fn on_message_burst(
+        &mut self,
+        messages: impl IntoIterator<Item = (ServerId, NetMessage)>,
+        now: TimeMs,
+    ) -> Vec<NetCommand> {
+        self.gossip.begin_burst();
+        let mut commands = Vec::new();
+        for (from, message) in messages {
+            match message {
+                NetMessage::Block(block) => {
+                    let deferred = self.gossip.on_block(block, now);
+                    debug_assert!(deferred.is_empty(), "bracketed on_block defers commands");
+                }
+                NetMessage::FwdRequest(block_ref) => {
+                    commands.extend(self.gossip.on_fwd_request(from, block_ref));
+                }
+            }
+        }
+        commands.extend(self.gossip.end_burst(now));
         self.run_interpretation();
         commands
     }

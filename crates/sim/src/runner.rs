@@ -37,6 +37,26 @@ pub struct Injection<P: DeterministicProtocol> {
     pub request: P::Request,
 }
 
+/// How the runner hands deliveries to a correct server's shim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IngestMode {
+    /// One [`Shim::on_message`] call per delivered message (the
+    /// historical behavior; every cross-PR fingerprint was pinned on it).
+    #[default]
+    PerMessage,
+    /// Coalesce a run of same-instant deliveries to the same server into
+    /// one [`Shim::on_message_burst`] call (up to `max` messages): blocks
+    /// are indexed first, then verified and promoted in one
+    /// cross-cascade pass — the deferred-admission hot path. Protocol
+    /// outcomes are unchanged; block bytes may differ from
+    /// [`IngestMode::PerMessage`] because the current block references
+    /// newly admitted blocks in burst order.
+    Burst {
+        /// Maximum messages folded into one bracket.
+        max: usize,
+    },
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -67,6 +87,11 @@ pub struct SimConfig {
     /// equivalence across all three is asserted by
     /// `tests/cross_seed_determinism.rs`.
     pub admission: AdmissionMode,
+    /// Delivery hand-off shape for correct servers (see [`IngestMode`]).
+    pub ingest: IngestMode,
+    /// Bound on each correct server's gossip pending buffer (see
+    /// `dagbft_core::GossipConfig::pending_cap`).
+    pub pending_cap: usize,
 }
 
 impl SimConfig {
@@ -85,6 +110,8 @@ impl SimConfig {
             roles: HashMap::new(),
             max_requests_per_block: 1024,
             admission: AdmissionMode::default(),
+            ingest: IngestMode::default(),
+            pending_cap: dagbft_core::DEFAULT_PENDING_CAP,
         }
     }
 
@@ -130,6 +157,18 @@ impl SimConfig {
         self
     }
 
+    /// Selects the delivery hand-off shape for correct servers.
+    pub fn with_ingest(mut self, ingest: IngestMode) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// Bounds each correct server's gossip pending buffer.
+    pub fn with_pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(1);
+        self
+    }
+
     /// Number of byzantine servers configured.
     pub fn byzantine_count(&self) -> usize {
         self.roles.values().filter(|r| r.is_byzantine()).count()
@@ -167,6 +206,14 @@ pub struct SimOutcome<P: DeterministicProtocol> {
     /// Verifications that went through batched waves — the share of
     /// `verifications` on the amortized path.
     pub batched_verifications: u64,
+    /// Cross-cascade admission bursts accounted by the crypto layer
+    /// (zero unless servers ingest via [`IngestMode::Burst`]).
+    pub verify_bursts: u64,
+    /// Verifications that belonged to those bursts.
+    pub burst_verifications: u64,
+    /// Wave statistics aggregated over all correct servers: widths
+    /// (min/mean/max plus a log₂ histogram), wave and burst counts.
+    pub wave_stats: dagbft_core::WaveStats,
     /// Simulation time at stop.
     pub finished_at: TimeMs,
     /// Injection times by label (first injection wins), for latency math.
@@ -296,7 +343,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
         let registry = KeyRegistry::generate(config.n, config.seed);
         let shim_config = ShimConfig::new(config.protocol)
             .with_max_requests_per_block(config.max_requests_per_block)
-            .with_admission(config.admission);
+            .with_admission(config.admission)
+            .with_pending_cap(config.pending_cap);
         let mut servers = Vec::with_capacity(config.n);
         for index in 0..config.n {
             let role = config.roles.get(&index).cloned().unwrap_or(Role::Correct);
@@ -379,6 +427,12 @@ impl<P: DeterministicProtocol> Simulation<P> {
             }
         }
         let finished_at = self.queue.now();
+        let mut wave_stats = dagbft_core::WaveStats::default();
+        for server in &self.servers {
+            if let Server::Correct(shim) = server {
+                wave_stats.merge(shim.gossip().wave_stats());
+            }
+        }
         SimOutcome {
             deliveries: self.deliveries,
             net: self.net,
@@ -386,6 +440,9 @@ impl<P: DeterministicProtocol> Simulation<P> {
             verifications: self.registry.metrics().verifies(),
             verify_batches: self.registry.metrics().batches(),
             batched_verifications: self.registry.metrics().batched_verifies(),
+            verify_bursts: self.registry.metrics().bursts(),
+            burst_verifications: self.registry.metrics().burst_verifies(),
+            wave_stats,
             finished_at,
             injected_at: self.injected_at,
             servers: self
@@ -449,7 +506,32 @@ impl<P: DeterministicProtocol> Simulation<P> {
                 self.crash_if_due(to, now);
                 match &mut self.servers[to] {
                     Server::Correct(shim) => {
-                        let commands = shim.on_message(from, message, now);
+                        let commands = match self.config.ingest {
+                            IngestMode::PerMessage => shim.on_message(from, message, now),
+                            IngestMode::Burst { max } => {
+                                // Coalesce the run of deliveries queued for
+                                // this server at this instant into one
+                                // deferred-admission bracket.
+                                let mut batch = vec![(from, message)];
+                                while batch.len() < max.max(1) {
+                                    let coalesced = self.queue.pop_if(|at, event| {
+                                        at == now
+                                            && matches!(
+                                                event,
+                                                Event::Deliver { to: next, .. } if *next == to
+                                            )
+                                    });
+                                    match coalesced {
+                                        Some((_, Event::Deliver { from, message, .. })) => {
+                                            batch.push((from, message));
+                                        }
+                                        Some(_) => unreachable!("pop_if matched a delivery"),
+                                        None => break,
+                                    }
+                                }
+                                shim.on_message_burst(batch, now)
+                            }
+                        };
                         self.route_commands(to, commands, now);
                         self.collect_deliveries(to, now);
                     }
@@ -501,7 +583,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
         let dag = dagbft_core::restore_dag(image).expect("own image restores");
         let shim_config = ShimConfig::new(self.config.protocol)
             .with_max_requests_per_block(self.config.max_requests_per_block)
-            .with_admission(self.config.admission);
+            .with_admission(self.config.admission)
+            .with_pending_cap(self.config.pending_cap);
         let mut shim = Shim::recover(
             ServerId::new(server as u32),
             shim_config,
@@ -813,6 +896,115 @@ mod tests {
             assert!(outcome.verify_batches > 0);
             assert!(outcome.batched_verifications > 0);
             assert!(outcome.batched_verifications <= outcome.verifications);
+        }
+    }
+
+    #[test]
+    fn burst_ingest_reaches_same_protocol_outcomes() {
+        // Burst delivery may reorder how blocks get referenced, but the
+        // protocol-level outcome — who delivers what — is unchanged, on
+        // clean and lossy networks.
+        for drop_rate in [0.0, 0.3] {
+            let run = |ingest: IngestMode| {
+                let config = SimConfig::new(4)
+                    .with_max_time(30_000)
+                    .with_network(NetworkModel::default().with_drop_rate(drop_rate))
+                    .with_ingest(ingest)
+                    .with_stop_after_deliveries(4);
+                let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+                sim.inject(broadcast_injection(0, 0, 1, 77));
+                sim.run()
+            };
+            let per_message = run(IngestMode::PerMessage);
+            let bursty = run(IngestMode::Burst { max: 1024 });
+            assert_eq!(per_message.deliveries.len(), bursty.deliveries.len());
+            for outcome in [&per_message, &bursty] {
+                assert!(outcome
+                    .deliveries
+                    .iter()
+                    .all(|d| d.indication == BrbIndication::Deliver(77)));
+                for index in outcome.correct_servers() {
+                    assert!(outcome.shim(index).dag().check_invariants());
+                }
+            }
+            // Burst ingest actually exercised the bracket machinery.
+            assert!(bursty.wave_stats.bursts > 0, "drop {drop_rate}");
+            assert_eq!(per_message.wave_stats.bursts, 0);
+        }
+    }
+
+    #[test]
+    fn burst_ingest_is_engine_equivalent_and_reproducible() {
+        let run = |mode: AdmissionMode| {
+            let config = SimConfig::new(4)
+                .with_max_time(10_000)
+                .with_admission(mode)
+                .with_ingest(IngestMode::Burst { max: 256 })
+                .with_stop_after_deliveries(4);
+            let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+            sim.inject(broadcast_injection(0, 0, 1, 6));
+            sim.run()
+        };
+        let index = run(AdmissionMode::Index);
+        let scan = run(AdmissionMode::Scan);
+        let parallel = run(AdmissionMode::Parallel { workers: 2 });
+        for outcome in [&scan, &parallel] {
+            assert_eq!(index.deliveries.len(), outcome.deliveries.len());
+            assert_eq!(index.net.bytes_sent, outcome.net.bytes_sent);
+            assert_eq!(index.signatures, outcome.signatures);
+            assert_eq!(index.verifications, outcome.verifications);
+            // Burst brackets are an ingest property: identical counts
+            // whichever engine runs inside them.
+            assert_eq!(index.wave_stats.bursts, outcome.wave_stats.bursts);
+            assert_eq!(
+                index.wave_stats.burst_blocks,
+                outcome.wave_stats.burst_blocks
+            );
+        }
+        // Wave structure matches between the batching engines; the scan
+        // oracle never batches, so the crypto layer saw bursts only from
+        // index/parallel servers.
+        assert_eq!(index.wave_stats.waves, parallel.wave_stats.waves);
+        assert_eq!(scan.wave_stats.waves, 0);
+        assert_eq!(scan.verify_bursts, 0);
+        for outcome in [&index, &parallel] {
+            assert!(outcome.verify_bursts > 0);
+            assert!(outcome.burst_verifications <= outcome.verifications);
+        }
+        // Reproducibility: same seed, same burst trace.
+        let again = run(AdmissionMode::Index);
+        assert_eq!(index.net.bytes_sent, again.net.bytes_sent);
+        assert_eq!(
+            index.deliveries.iter().map(|d| d.at).collect::<Vec<_>>(),
+            again.deliveries.iter().map(|d| d.at).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hostile_burst_scenarios_stay_safe_under_burst_ingest() {
+        // Equivocation + loss + a capped pending buffer, delivered in
+        // bursts: BRB consistency and DAG invariants must hold.
+        let config = SimConfig::new(4)
+            .with_max_time(20_000)
+            .with_network(NetworkModel::default().with_drop_rate(0.2))
+            .with_role(0, Role::Equivocate { at_seq: 0 })
+            .with_ingest(IngestMode::Burst { max: 64 })
+            .with_pending_cap(8)
+            .with_stop_after_deliveries(3);
+        let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
+        sim.inject(broadcast_injection(0, 1, 1, 99));
+        let outcome = sim.run();
+        let values: std::collections::BTreeSet<u64> = outcome
+            .deliveries
+            .iter()
+            .map(|d| match &d.indication {
+                BrbIndication::Deliver(v) => *v,
+            })
+            .collect();
+        assert!(values.len() <= 1, "consistency violated");
+        for index in outcome.correct_servers() {
+            assert!(outcome.shim(index).dag().check_invariants());
+            assert!(outcome.shim(index).gossip().pending_len() <= 8);
         }
     }
 

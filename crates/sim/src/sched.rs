@@ -140,6 +140,17 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<TimeMs> {
         self.heap.peek().map(|e| e.time)
     }
+
+    /// Pops the earliest event only if `pred` accepts it — how the
+    /// runner's burst delivery coalesces a run of same-instant deliveries
+    /// to one server without disturbing any other event's order.
+    pub fn pop_if(&mut self, pred: impl FnOnce(TimeMs, &E) -> bool) -> Option<(TimeMs, E)> {
+        let head = self.heap.peek()?;
+        if !pred(head.time, &head.payload) {
+            return None;
+        }
+        self.pop()
+    }
 }
 
 #[cfg(test)]

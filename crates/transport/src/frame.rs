@@ -100,6 +100,153 @@ pub fn read_net_message<R: Read>(reader: &mut R) -> io::Result<NetMessage> {
         .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
 }
 
+/// Default number of frame buffers a [`FrameArena`] tracks for recycling.
+pub const DEFAULT_ARENA_BUFFERS: usize = 64;
+
+/// Usage counters of one [`FrameArena`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameArenaStats {
+    /// Frames read through the arena.
+    pub frames: u64,
+    /// Frames served from a recycled buffer (no allocation).
+    pub recycled: u64,
+    /// Buffers reclaimed after their last reference dropped.
+    pub reclaimed: u64,
+}
+
+/// A pool of reusable frame buffers for the receive path.
+///
+/// [`read_net_message_pooled`] reads each frame into a buffer drawn from
+/// the arena and decodes it as shared [`Bytes`], so the message's payload
+/// views are zero-copy windows into the pooled allocation. The arena
+/// keeps a handle to every buffer it lends out; once all *other*
+/// references drop — the frame was a `FWD` request, a duplicate, or a
+/// rejected block, i.e. nothing retained its bytes — the buffer is
+/// reclaimed and reused, capacity intact. Admitted blocks keep their
+/// buffer alive for as long as the DAG caches their wire image: those are
+/// permanently handed over (the arena forgets the oldest lent handles
+/// past its tracking capacity), which is exactly the copy the zero-copy
+/// wire path is built around.
+///
+/// Under a hostile duplicate/garbage flood this makes the receive loop
+/// allocation-free in steady state; under honest traffic it costs one
+/// tracked handle per in-flight frame.
+#[derive(Debug)]
+pub struct FrameArena {
+    /// Reclaimed buffers ready for reuse (capacity preserved).
+    spares: Vec<Vec<u8>>,
+    /// Handles to buffers currently lent out, oldest first.
+    lent: Vec<Bytes>,
+    /// Maximum buffers tracked across `spares` and `lent`.
+    buffers: usize,
+    stats: FrameArenaStats,
+}
+
+impl Default for FrameArena {
+    fn default() -> Self {
+        FrameArena::new(DEFAULT_ARENA_BUFFERS)
+    }
+}
+
+impl FrameArena {
+    /// Creates an arena tracking at most `buffers` buffers (at least 1).
+    pub fn new(buffers: usize) -> Self {
+        FrameArena {
+            spares: Vec::new(),
+            lent: Vec::new(),
+            buffers: buffers.max(1),
+            stats: FrameArenaStats::default(),
+        }
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> FrameArenaStats {
+        self.stats
+    }
+
+    /// Buffers currently lent out (still referenced or awaiting sweep).
+    pub fn lent(&self) -> usize {
+        self.lent.len()
+    }
+
+    /// Sweeps lent handles, reclaiming every buffer whose other
+    /// references have all dropped; returns the number reclaimed.
+    pub fn sweep(&mut self) -> usize {
+        let mut reclaimed = 0;
+        let mut still_lent = Vec::with_capacity(self.lent.len());
+        for handle in self.lent.drain(..) {
+            match handle.try_reclaim() {
+                Ok(buffer) => {
+                    reclaimed += 1;
+                    if self.spares.len() < self.buffers {
+                        self.spares.push(buffer);
+                    }
+                }
+                Err(handle) => still_lent.push(handle),
+            }
+        }
+        self.lent = still_lent;
+        self.stats.reclaimed += reclaimed as u64;
+        reclaimed
+    }
+
+    /// Draws a cleared buffer: a recycled spare when available, a fresh
+    /// allocation otherwise.
+    fn acquire(&mut self) -> Vec<u8> {
+        self.sweep();
+        match self.spares.pop() {
+            Some(mut buffer) => {
+                buffer.clear();
+                self.stats.recycled += 1;
+                buffer
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Registers a lent-out payload for future reclamation. Past the
+    /// tracking capacity the oldest handle is handed over for good (its
+    /// holder — typically the DAG's cached wire image — now owns the
+    /// allocation's lifetime).
+    fn track(&mut self, payload: Bytes) {
+        self.stats.frames += 1;
+        if self.lent.len() >= self.buffers {
+            self.lent.remove(0);
+        }
+        self.lent.push(payload);
+    }
+}
+
+/// [`read_net_message`] over a [`FrameArena`]: the frame is read into a
+/// pooled buffer and decoded as shared [`Bytes`], and the buffer is
+/// recycled once every reference to it drops.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`].
+pub fn read_net_message_pooled<R: Read>(
+    reader: &mut R,
+    arena: &mut FrameArena,
+) -> io::Result<NetMessage> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut buffer = arena.acquire();
+    buffer.resize(len, 0);
+    reader.read_exact(&mut buffer)?;
+    let payload = Bytes::from(buffer);
+    let message = decode_from_bytes(&payload)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()));
+    arena.track(payload);
+    message
+}
+
 /// The first frame on every outbound connection: the sender's identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hello {
@@ -203,6 +350,95 @@ mod tests {
             let decoded = read_net_message(&mut cursor).unwrap();
             assert_eq!(decoded, message);
         }
+    }
+
+    #[test]
+    fn pooled_read_matches_unpooled_and_recycles_dropped_frames() {
+        let block = sample_block();
+        let messages = [
+            NetMessage::FwdRequest(block.block_ref()),
+            NetMessage::Block(block.clone()),
+            NetMessage::FwdRequest(block.block_ref()),
+        ];
+        let mut wire = Vec::new();
+        for message in &messages {
+            write_net_message(&mut wire, message).unwrap();
+        }
+        let mut arena = FrameArena::new(8);
+        let mut cursor = io::Cursor::new(wire);
+        // FWD requests copy their 32-byte ref out of the frame, so their
+        // buffers are reclaimable immediately; by the third read the
+        // arena serves a recycled buffer.
+        let first = read_net_message_pooled(&mut cursor, &mut arena).unwrap();
+        assert_eq!(first, messages[0]);
+        let second = read_net_message_pooled(&mut cursor, &mut arena).unwrap();
+        assert_eq!(second, messages[1]);
+        let third = read_net_message_pooled(&mut cursor, &mut arena).unwrap();
+        assert_eq!(third, messages[2]);
+        assert_eq!(arena.stats().frames, 3);
+        assert!(
+            arena.stats().recycled >= 1,
+            "fwd frame buffer reused: {:?}",
+            arena.stats()
+        );
+        // The decoded block's wire image is a zero-copy window into the
+        // pooled frame, which therefore stays lent out…
+        let NetMessage::Block(received) = &second else {
+            panic!("expected a block");
+        };
+        assert!(received.wire_bytes().ref_count() > 1);
+        drop(second);
+        // …until the block drops, after which a sweep reclaims it.
+        arena.sweep();
+        assert_eq!(arena.lent(), 0);
+        assert_eq!(arena.stats().reclaimed, 3);
+    }
+
+    #[test]
+    fn arena_hands_over_oldest_past_capacity() {
+        let block = sample_block();
+        let mut wire = Vec::new();
+        for _ in 0..3 {
+            write_net_message(&mut wire, &NetMessage::Block(block.clone())).unwrap();
+        }
+        let mut arena = FrameArena::new(2);
+        let mut cursor = io::Cursor::new(wire);
+        // All three decoded blocks retain their frames; the arena only
+        // tracks the newest two and permanently hands over the oldest.
+        let kept: Vec<NetMessage> = (0..3)
+            .map(|_| read_net_message_pooled(&mut cursor, &mut arena).unwrap())
+            .collect();
+        assert_eq!(arena.lent(), 2);
+        drop(kept);
+        arena.sweep();
+        assert_eq!(arena.stats().reclaimed, 2);
+    }
+
+    #[test]
+    fn pooled_read_rejects_oversized_and_garbage() {
+        let mut arena = FrameArena::new(4);
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_net_message_pooled(&mut cursor, &mut arena)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&1u32.to_le_bytes());
+        buffer.push(9); // invalid discriminant
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_net_message_pooled(&mut cursor, &mut arena)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+        // The garbage frame's buffer is still recycled.
+        arena.sweep();
+        assert_eq!(arena.stats().reclaimed, 1);
     }
 
     #[test]

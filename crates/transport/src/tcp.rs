@@ -11,7 +11,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dagbft_core::NetMessage;
 use dagbft_crypto::ServerId;
 
-use crate::frame::{read_net_message, write_frame, write_net_message, Hello};
+use crate::frame::{read_net_message_pooled, write_frame, write_net_message, FrameArena, Hello};
 
 const POLL: Duration = Duration::from_millis(25);
 const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
@@ -176,10 +176,17 @@ fn reader_loop(
         Some(hello) => hello.from,
         None => return,
     };
-    // Blocks decoded here slice the frame buffer (zero-copy receive):
-    // see `frame::read_net_message`.
+    // Blocks decoded here slice a pooled frame buffer (zero-copy receive
+    // with buffer recycling): see `frame::read_net_message_pooled`. One
+    // arena per connection, so a burst arriving off one socket reuses the
+    // same buffers as soon as upstream drops them (duplicates, FWD
+    // requests, rejected blocks).
+    let mut arena = FrameArena::default();
     while !shutdown.load(Ordering::SeqCst) {
-        match read_retry(&mut stream, &shutdown, read_net_message) {
+        let received = read_retry(&mut stream, &shutdown, |stream| {
+            read_net_message_pooled(stream, &mut arena)
+        });
+        match received {
             Some(message) => {
                 if incoming_tx.send((from, message)).is_err() {
                     return;
@@ -194,7 +201,7 @@ fn reader_loop(
 fn read_retry<T>(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
-    read_one: impl Fn(&mut TcpStream) -> io::Result<T>,
+    mut read_one: impl FnMut(&mut TcpStream) -> io::Result<T>,
 ) -> Option<T> {
     loop {
         if shutdown.load(Ordering::SeqCst) {

@@ -89,6 +89,21 @@ impl Bytes {
         Arc::ptr_eq(&self.data, &other.data)
     }
 
+    /// Number of live handles (views) sharing this buffer's backing
+    /// allocation, including `self`.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// Attempts to take the backing allocation back: succeeds iff `self`
+    /// is the only live handle, returning the *full* original vector
+    /// (window offsets are discarded — this is a recycling primitive, not
+    /// an accessor). On failure the handle is returned unchanged.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, offset, len } = self;
+        Arc::try_unwrap(data).map_err(|data| Bytes { data, offset, len })
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.offset..self.offset + self.len]
     }
@@ -271,5 +286,24 @@ mod tests {
     fn slice_out_of_bounds_panics() {
         let a = Bytes::from(b"xy".to_vec());
         let _ = a.slice(1..3);
+    }
+
+    #[test]
+    fn reclaim_succeeds_only_for_sole_owner() {
+        let a = Bytes::from(b"pooled frame".to_vec());
+        assert_eq!(a.ref_count(), 1);
+        let window = a.slice(7..);
+        assert_eq!(a.ref_count(), 2);
+        // A shared allocation cannot be reclaimed; the handle survives.
+        let a = a.try_reclaim().expect_err("still shared");
+        assert_eq!(a.as_ref(), b"pooled frame");
+        drop(window);
+        // Sole owner: the full backing vector comes back, even from a
+        // windowed handle.
+        let sliced = a.slice(0..6);
+        drop(a);
+        assert_eq!(sliced.ref_count(), 1);
+        let vec = sliced.try_reclaim().expect("sole owner");
+        assert_eq!(vec, b"pooled frame".to_vec());
     }
 }
