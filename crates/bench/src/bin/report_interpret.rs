@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use dagbft_bench::{build_offline_dag, check_snapshot_schema, f2};
+use dagbft_bench::{build_offline_dag, check_snapshot_schema, cores, f2};
 use dagbft_core::{Interpreter, InterpreterFootprint, ReferenceInterpreter};
 use dagbft_protocols::Brb;
 
@@ -179,7 +179,8 @@ fn main() {
     // Machine-readable trajectory line (snapshot: BENCH_interpret.json).
     let json_rows: Vec<String> = rows.iter().map(Row::json).collect();
     let json = format!(
-        "{{\"experiment\":\"interpret_offline\",\"protocol\":\"brb\",\"n\":4,\"rows\":[{}]}}",
+        "{{\"experiment\":\"interpret_offline\",\"protocol\":\"brb\",\"n\":4,\"cores\":{},\"rows\":[{}]}}",
+        cores(),
         json_rows.join(",")
     );
     println!("{json}");

@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use dagbft_bench::{check_snapshot_schema, f2};
+use dagbft_bench::{check_snapshot_schema, cores, f2};
 use dagbft_codec::WireEncode;
 use dagbft_core::{
     AdmissionMode, Block, BlockRef, Gossip, GossipConfig, Label, LabeledRequest, NetMessage, SeqNum,
@@ -256,8 +256,9 @@ fn run() -> (Vec<BroadcastRow>, Vec<BurstRow>, String) {
     .collect();
 
     let json = format!(
-        "{{\"experiment\":\"wire_path\",\"seed\":{},\"broadcast\":[{}],\"burst\":[{}]}}",
+        "{{\"experiment\":\"wire_path\",\"seed\":{},\"cores\":{},\"broadcast\":[{}],\"burst\":[{}]}}",
         SEED,
+        cores(),
         broadcast
             .iter()
             .map(BroadcastRow::json)

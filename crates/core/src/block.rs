@@ -24,7 +24,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
@@ -196,8 +196,13 @@ struct BlockInner {
     preds: Vec<BlockRef>,
     requests: Vec<LabeledRequest>,
     signature: Signature,
-    /// Cached `ref(B)`.
-    block_ref: BlockRef,
+    /// Cached `ref(B)`, computed on first use. Builders fill it eagerly
+    /// (they sign it); decoded blocks leave it empty so the hash can be
+    /// computed off the receive path — on a [`VerifyPool`] worker for
+    /// bursts, or lazily at first reference otherwise.
+    ///
+    /// [`VerifyPool`]: crate::gossip::VerifyPool
+    block_ref: OnceLock<BlockRef>,
     /// Cached canonical wire encoding, *including* the trailing signature.
     /// The signing preimage (Definition 3.1's hash input) is the prefix
     /// `wire[..wire.len() − Signature::SIZE]`.
@@ -277,6 +282,8 @@ impl Block {
         mut wire: Vec<u8>,
     ) -> Block {
         signature.encode(&mut wire);
+        let cached = OnceLock::new();
+        cached.set(block_ref).expect("fresh cell");
         Block {
             inner: Arc::new(BlockInner {
                 builder,
@@ -284,7 +291,7 @@ impl Block {
                 preds,
                 requests,
                 signature,
-                block_ref,
+                block_ref: cached,
                 wire: Bytes::from(wire),
             }),
         }
@@ -350,9 +357,17 @@ impl Block {
         &self.inner.signature
     }
 
-    /// The cached block reference `ref(B)`.
+    /// The block reference `ref(B)`, hashed on first use and cached.
+    ///
+    /// For built blocks this is always already cached (building signs
+    /// it); for decoded blocks the first caller pays one SHA-256 over
+    /// the signing preimage — which burst admission schedules on the
+    /// gossip verify-pool workers so the receive thread rarely does.
     pub fn block_ref(&self) -> BlockRef {
-        self.inner.block_ref
+        *self
+            .inner
+            .block_ref
+            .get_or_init(|| BlockRef(sha256(self.signing_preimage())))
     }
 
     /// The cached canonical wire encoding (including the signature).
@@ -380,19 +395,19 @@ impl Block {
     pub fn verify_signature(&self, verifier: &Verifier) -> bool {
         verifier.verify(
             self.inner.builder,
-            self.inner.block_ref.digest().as_bytes(),
+            self.block_ref().digest().as_bytes(),
             &self.inner.signature,
         )
     }
 
     /// The block's signature claim as a batch-verification item: "`σ` is
-    /// `sign(B.n, ref(B))`". All three fields are cached, so assembling a
-    /// verification wave copies 3 small values per block and never touches
-    /// the wire bytes.
+    /// `sign(B.n, ref(B))`". With `ref(B)` cached (the common case — see
+    /// [`Block::block_ref`]), assembling a verification wave copies 3
+    /// small values per block and never touches the wire bytes.
     pub fn signed_digest(&self) -> dagbft_crypto::SignedDigest {
         dagbft_crypto::SignedDigest {
             claimed: self.inner.builder,
-            digest: self.inner.block_ref.digest(),
+            digest: self.block_ref().digest(),
             signature: self.inner.signature,
         }
     }
@@ -469,7 +484,7 @@ impl fmt::Debug for Block {
             "Block({}/{} {} preds={} rs={})",
             self.inner.builder,
             self.inner.seq,
-            self.inner.block_ref,
+            self.block_ref(),
             self.inner.preds.len(),
             self.inner.requests.len()
         )
@@ -481,7 +496,9 @@ impl fmt::Display for Block {
         write!(
             f,
             "{}/{}{}",
-            self.inner.builder, self.inner.seq, self.inner.block_ref
+            self.inner.builder,
+            self.inner.seq,
+            self.block_ref()
         )
     }
 }
@@ -500,16 +517,15 @@ impl WireDecode for Block {
         let seq = SeqNum::decode(reader)?;
         let preds = Vec::<BlockRef>::decode(reader)?;
         let requests = Vec::<LabeledRequest>::decode(reader)?;
-        let preimage_end = reader.position();
         let signature = Signature::decode(reader)?;
         let end = reader.position();
         // The codec is canonical (fixed-width integers, length-prefixed
         // sequences), so the consumed input *is* the canonical encoding:
-        // hash it directly instead of re-encoding the fields, and retain it
-        // as the cached wire image (a zero-copy slice of the receive buffer
-        // when the reader is shared). A tampered byte lands in the hash —
-        // the cache can never vouch for bytes the signature doesn't.
-        let block_ref = BlockRef(sha256(reader.window(start, preimage_end)));
+        // retain it as the cached wire image (a zero-copy slice of the
+        // receive buffer when the reader is shared) and defer hashing
+        // `ref(B)` out of it until first use — burst admission moves that
+        // hash onto pool workers. A tampered byte lands in the hash — the
+        // cache can never vouch for bytes the signature doesn't.
         let wire = reader.bytes_between(start, end);
         Ok(Block {
             inner: Arc::new(BlockInner {
@@ -518,7 +534,7 @@ impl WireDecode for Block {
                 preds,
                 requests,
                 signature,
-                block_ref,
+                block_ref: OnceLock::new(),
                 wire,
             }),
         })

@@ -397,8 +397,20 @@ impl WaveStats {
     }
 }
 
-/// A verification chunk sent to the worker pool: `(slot, items)`.
-type VerifyJob = (usize, Vec<SignedDigest>);
+/// One unit of work for the verification pool.
+#[derive(Debug)]
+enum VerifyJob {
+    /// Verify a chunk of signature claims: `(slot, items)`. Answered on
+    /// the verdict channel for slot-ordered reassembly.
+    Verify(usize, Vec<SignedDigest>),
+    /// Warm the `ref(B)` caches of freshly decoded blocks (one SHA-256
+    /// each, filling the block's shared `OnceLock`). Fire-and-forget: no
+    /// verdict reply, and the event-loop thread computes any ref a
+    /// worker hasn't reached yet, so verdicts and promotion order never
+    /// depend on scheduling.
+    Hash(Vec<Block>),
+}
+
 /// A worker's verdicts for one chunk: `(slot, per-item results)`.
 type VerifyVerdicts = (usize, Vec<bool>);
 
@@ -430,12 +442,21 @@ impl VerifyPool {
                 let verdicts = verdict_tx.clone();
                 let verifier = verifier.clone();
                 std::thread::spawn(move || {
-                    while let Ok((slot, items)) = jobs.recv() {
-                        if verdicts
-                            .send((slot, verifier.verify_batch(&items)))
-                            .is_err()
-                        {
-                            return;
+                    while let Ok(job) = jobs.recv() {
+                        match job {
+                            VerifyJob::Verify(slot, items) => {
+                                if verdicts
+                                    .send((slot, verifier.verify_batch(&items)))
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                            VerifyJob::Hash(blocks) => {
+                                for block in &blocks {
+                                    let _ = block.block_ref();
+                                }
+                            }
                         }
                     }
                 })
@@ -458,7 +479,8 @@ impl VerifyPool {
         let chunk_len = items.len().div_ceil(self.workers);
         let mut slots = 0;
         for (slot, chunk) in items.chunks(chunk_len).enumerate() {
-            jobs.send((slot, chunk.to_vec())).expect("workers alive");
+            jobs.send(VerifyJob::Verify(slot, chunk.to_vec()))
+                .expect("workers alive");
             slots += 1;
         }
         let mut by_slot: Vec<Option<Vec<bool>>> = vec![None; slots];
@@ -491,7 +513,8 @@ impl VerifyPool {
                 .div_ceil(self.workers * PIPELINE_CHUNKS_PER_WORKER)
                 .max(MIN_PIPELINE_CHUNK);
             for (slot, chunk) in items.chunks(chunk_len).enumerate() {
-                jobs.send((slot, chunk.to_vec())).expect("workers alive");
+                jobs.send(VerifyJob::Verify(slot, chunk.to_vec()))
+                    .expect("workers alive");
                 dispatched += 1;
             }
         }
@@ -501,6 +524,27 @@ impl VerifyPool {
             reorder: BTreeMap::new(),
             next_slot: 0,
             current: Vec::new().into_iter(),
+        }
+    }
+
+    /// Fans the `ref(B)` hashing of a decoded burst across the workers
+    /// while the event-loop thread buffers the same blocks front to
+    /// back. Chunks are dispatched back to front so the two ends meet in
+    /// the middle; whoever reaches a block first fills its shared cache,
+    /// and `OnceLock` guarantees each hash is computed exactly once.
+    /// Tiny bursts skip the channel round-trip.
+    fn hash_blocks(&self, blocks: &[Block]) {
+        if blocks.len() < MIN_HASH_FANOUT {
+            return;
+        }
+        let jobs = self.jobs.as_ref().expect("pool alive");
+        let chunk_len = blocks
+            .len()
+            .div_ceil(self.workers * PIPELINE_CHUNKS_PER_WORKER)
+            .max(MIN_PIPELINE_CHUNK);
+        for chunk in blocks.chunks(chunk_len).rev() {
+            jobs.send(VerifyJob::Hash(chunk.to_vec()))
+                .expect("workers alive");
         }
     }
 }
@@ -515,6 +559,9 @@ const DEFERRED_ANALYSIS_FACTOR: usize = 4;
 const PIPELINE_CHUNKS_PER_WORKER: usize = 4;
 /// Minimum pipelined chunk size (items), amortizing channel round-trips.
 const MIN_PIPELINE_CHUNK: usize = 16;
+/// Smallest burst worth fanning `ref(B)` hashing out to the pool; below
+/// this the event-loop thread hashes faster than the channel round-trip.
+const MIN_HASH_FANOUT: usize = 8;
 
 /// In-order cursor over a pipelined dispatch's verdicts (see
 /// [`VerifyPool::stream`]). Chunks arriving out of slot order are
@@ -911,15 +958,32 @@ impl Gossip {
 
     /// Delivers a whole burst of blocks through one
     /// [`Gossip::begin_burst`]/[`Gossip::end_burst`] bracket.
+    ///
+    /// Under [`AdmissionMode::Parallel`] the burst's `ref(B)` hashes —
+    /// deferred at decode time — are computed on the worker pool while
+    /// this thread buffers the blocks, so the receive path no longer
+    /// pays one serial SHA-256 per block.
     pub fn on_block_burst(
         &mut self,
         blocks: impl IntoIterator<Item = Block>,
         now: TimeMs,
     ) -> Vec<NetCommand> {
         self.begin_burst();
-        for block in blocks {
-            let commands = self.on_block(block, now);
-            debug_assert!(commands.is_empty(), "bracketed on_block defers commands");
+        if self.pool.is_some() {
+            let blocks: Vec<Block> = blocks.into_iter().collect();
+            self.pool
+                .as_ref()
+                .expect("checked above")
+                .hash_blocks(&blocks);
+            for block in blocks {
+                let commands = self.on_block(block, now);
+                debug_assert!(commands.is_empty(), "bracketed on_block defers commands");
+            }
+        } else {
+            for block in blocks {
+                let commands = self.on_block(block, now);
+                debug_assert!(commands.is_empty(), "bracketed on_block defers commands");
+            }
         }
         self.end_burst(now)
     }

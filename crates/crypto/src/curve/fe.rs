@@ -1,0 +1,349 @@
+//! The field GF(p), p = 2^255 − 19, in 5 × 51-bit limbs.
+//!
+//! Products of two 51-bit limbs fit a `u128` with room for the ×19
+//! wraparound folding and the five-term accumulation, so multiplication
+//! is plain schoolbook with a carry chain — no platform intrinsics.
+
+/// A field element, as five base-2^51 limbs, little-endian.
+///
+/// Invariant maintained by every constructor and operation: each limb is
+/// below 2^52 (operations internally tolerate more and reduce). Equality
+/// must go through [`Fe::to_bytes`] — limb representations are not
+/// unique.
+#[derive(Debug, Clone, Copy)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+const MASK: u64 = (1 << 51) - 1;
+
+/// 16·p in 51-bit limbs: added before subtracting to keep limbs
+/// non-negative (inputs have limbs < 2^52 ≤ the corresponding limb of
+/// 16·p).
+const SIXTEEN_P: [u64; 5] = [(MASK - 18) << 4, MASK << 4, MASK << 4, MASK << 4, MASK << 4];
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// A small integer as a field element.
+    pub fn from_u64(value: u64) -> Fe {
+        let mut fe = Fe([value & MASK, value >> 51, 0, 0, 0]);
+        fe.reduce();
+        fe
+    }
+
+    /// Parses 32 little-endian bytes, ignoring bit 255 (the sign bit in
+    /// point encodings). The result is *not* guaranteed canonical —
+    /// callers that must reject non-canonical encodings compare
+    /// [`Fe::to_bytes`] of the result against the masked input.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |range: std::ops::Range<usize>| -> u64 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[range]);
+            u64::from_le_bytes(word)
+        };
+        Fe([
+            load(0..8) & MASK,
+            (load(6..14) >> 3) & MASK,
+            (load(12..20) >> 6) & MASK,
+            (load(19..27) >> 1) & MASK,
+            (load(24..32) >> 12) & MASK,
+        ])
+    }
+
+    /// Canonical 32-byte little-endian encoding (fully reduced mod p;
+    /// bit 255 is zero).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut limbs = self.0;
+        carry_chain(&mut limbs);
+        // q = 1 iff limbs ≥ p, detected by whether adding 19 carries all
+        // the way out of bit 255.
+        let mut q = (limbs[0].wrapping_add(19)) >> 51;
+        q = (limbs[1].wrapping_add(q)) >> 51;
+        q = (limbs[2].wrapping_add(q)) >> 51;
+        q = (limbs[3].wrapping_add(q)) >> 51;
+        q = (limbs[4].wrapping_add(q)) >> 51;
+        // Subtract q·p = q·(2^255 − 19): add 19q then drop bit 255.
+        limbs[0] = limbs[0].wrapping_add(19 * q);
+        let mut carry = limbs[0] >> 51;
+        limbs[0] &= MASK;
+        for limb in limbs.iter_mut().skip(1) {
+            *limb = limb.wrapping_add(carry);
+            carry = *limb >> 51;
+            *limb &= MASK;
+        }
+        // `carry` here is exactly q's bit 255, discarded mod 2^255.
+
+        let mut out = [0u8; 32];
+        let words = [
+            limbs[0] | (limbs[1] << 51),
+            (limbs[1] >> 13) | (limbs[2] << 38),
+            (limbs[2] >> 26) | (limbs[3] << 25),
+            (limbs[3] >> 39) | (limbs[4] << 12),
+        ];
+        for (i, word) in words.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &Fe) -> Fe {
+        let mut out = Fe([
+            self.0[0] + other.0[0],
+            self.0[1] + other.0[1],
+            self.0[2] + other.0[2],
+            self.0[3] + other.0[3],
+            self.0[4] + other.0[4],
+        ]);
+        out.reduce();
+        out
+    }
+
+    /// Difference (computed as `self + 16p − other` to stay
+    /// non-negative).
+    pub fn sub(&self, other: &Fe) -> Fe {
+        let mut out = Fe([
+            self.0[0] + SIXTEEN_P[0] - other.0[0],
+            self.0[1] + SIXTEEN_P[1] - other.0[1],
+            self.0[2] + SIXTEEN_P[2] - other.0[2],
+            self.0[3] + SIXTEEN_P[3] - other.0[3],
+            self.0[4] + SIXTEEN_P[4] - other.0[4],
+        ]);
+        out.reduce();
+        out
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Product, with the 2^255 ≡ 19 wraparound folded into the
+    /// schoolbook columns.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        let a = self.0;
+        let b = other.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+
+        let b1_19 = 19 * b[1];
+        let b2_19 = 19 * b[2];
+        let b3_19 = 19 * b[3];
+        let b4_19 = 19 * b[4];
+
+        let mut c0 =
+            m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let mut c1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let mut c2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let mut c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let mut c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        c1 += c0 >> 51;
+        c0 &= MASK as u128;
+        c2 += c1 >> 51;
+        c1 &= MASK as u128;
+        c3 += c2 >> 51;
+        c2 &= MASK as u128;
+        c4 += c3 >> 51;
+        c3 &= MASK as u128;
+        let carry = (c4 >> 51) as u64;
+        c4 &= MASK as u128;
+
+        let mut limbs = [c0 as u64, c1 as u64, c2 as u64, c3 as u64, c4 as u64];
+        limbs[0] += 19 * carry;
+        let mut fe = Fe(limbs);
+        fe.reduce();
+        fe
+    }
+
+    /// Square (delegates to [`Fe::mul`]; clarity over the ~20% saving a
+    /// dedicated squaring would buy).
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// `self^exp` for a 32-byte little-endian exponent, by
+    /// square-and-multiply. Only used for the handful of fixed exponents
+    /// below — never on secret data.
+    fn pow_bytes_le(&self, exp: &[u8; 32]) -> Fe {
+        let mut acc = Fe::ONE;
+        let mut started = false;
+        for byte in exp.iter().rev() {
+            for bit in (0..8).rev() {
+                if started {
+                    acc = acc.square();
+                }
+                if (byte >> bit) & 1 == 1 {
+                    acc = acc.mul(self);
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (of zero: zero), via Fermat:
+    /// `self^(p − 2)`.
+    pub fn invert(&self) -> Fe {
+        // p − 2 = 2^255 − 21.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow_bytes_le(&exp)
+    }
+
+    /// `self^((p − 5) / 8)` — the core of the square-root computation in
+    /// point decompression (RFC 8032 §5.1.3).
+    pub fn pow_p58(&self) -> Fe {
+        // (p − 5) / 8 = 2^252 − 3.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow_bytes_le(&exp)
+    }
+
+    /// True if the canonical encoding is all zero.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// The "sign" of a field element per RFC 8032: the low bit of its
+    /// canonical encoding.
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Canonical-encoding equality.
+    pub fn eq_fe(&self, other: &Fe) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
+    /// One carry pass bringing every limb below 2^52 (below 2^51 except
+    /// for at most a small excess in limb 0 from the ×19 wraparound).
+    fn reduce(&mut self) {
+        carry_chain(&mut self.0);
+    }
+}
+
+/// √−1 = 2^((p−1)/4), computed once. Decompression multiplies by it when
+/// the candidate root squares to −u/v instead of u/v.
+pub fn sqrt_m1() -> Fe {
+    static SQRT_M1: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+    *SQRT_M1.get_or_init(|| {
+        // (p − 1) / 4 = 2^253 − 5.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        Fe::from_u64(2).pow_bytes_le(&exp)
+    })
+}
+
+fn carry_chain(limbs: &mut [u64; 5]) {
+    let mut carry = limbs[0] >> 51;
+    limbs[0] &= MASK;
+    for limb in limbs.iter_mut().skip(1) {
+        *limb += carry;
+        carry = *limb >> 51;
+        *limb &= MASK;
+    }
+    limbs[0] += 19 * carry;
+    let spill = limbs[0] >> 51;
+    limbs[0] &= MASK;
+    limbs[1] += spill;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(value: u64) -> Fe {
+        Fe::from_u64(value)
+    }
+
+    /// p − 1 as bytes, the largest canonical encoding.
+    fn p_minus_one_bytes() -> [u8; 32] {
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xec;
+        bytes[31] = 0x7f;
+        bytes
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(fe(2).add(&fe(3)).to_bytes(), fe(5).to_bytes());
+        assert_eq!(fe(7).mul(&fe(6)).to_bytes(), fe(42).to_bytes());
+        assert_eq!(fe(10).sub(&fe(4)).to_bytes(), fe(6).to_bytes());
+        assert!(fe(0).is_zero());
+        assert!(!fe(1).is_zero());
+    }
+
+    #[test]
+    fn wraparound_identities() {
+        // p ≡ 0: encode p's byte pattern and check it reduces to zero.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        assert!(Fe::from_bytes(&p_bytes).is_zero());
+        // −1 + 1 ≡ 0.
+        let minus_one = Fe::from_bytes(&p_minus_one_bytes());
+        assert!(minus_one.add(&Fe::ONE).is_zero());
+        // (−1)·(−1) ≡ 1.
+        assert!(minus_one.mul(&minus_one).eq_fe(&Fe::ONE));
+    }
+
+    #[test]
+    fn to_bytes_is_canonical() {
+        // 2^255 − 19 + 5 encodes the same as 5.
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xed + 5;
+        bytes[31] = 0x7f;
+        assert_eq!(Fe::from_bytes(&bytes).to_bytes(), fe(5).to_bytes());
+        // Round-trip of a canonical value is the identity.
+        let canon = p_minus_one_bytes();
+        assert_eq!(Fe::from_bytes(&canon).to_bytes(), canon);
+    }
+
+    #[test]
+    fn inverse_and_distributivity() {
+        let a = fe(123_456_789);
+        assert!(a.mul(&a.invert()).eq_fe(&Fe::ONE));
+        let b = fe(987_654_321);
+        let c = fe(31_337);
+        // a(b + c) = ab + ac across limb-representation differences.
+        let left = a.mul(&b.add(&c));
+        let right = a.mul(&b).add(&a.mul(&c));
+        assert!(left.eq_fe(&right));
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let minus_one = Fe::ZERO.sub(&Fe::ONE);
+        assert!(sqrt_m1().square().eq_fe(&minus_one));
+    }
+
+    #[test]
+    fn negation_and_sign() {
+        let a = fe(2);
+        assert!(a.neg().add(&a).is_zero());
+        // 2 is even, p − 2 is odd.
+        assert!(!a.is_negative());
+        assert!(a.neg().is_negative());
+    }
+
+    #[test]
+    fn mul_matches_naive_double_and_add() {
+        // Cross-check limb multiplication against repeated addition for a
+        // few moderate operands.
+        for (x, reps) in [(97u64, 1000u64), (123_456, 777), (1 << 40, 513)] {
+            let base = fe(x);
+            let mut sum = Fe::ZERO;
+            for _ in 0..reps {
+                sum = sum.add(&base);
+            }
+            assert!(base.mul(&fe(reps)).eq_fe(&sum), "{x} × {reps}");
+        }
+    }
+}

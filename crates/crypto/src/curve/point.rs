@@ -1,0 +1,409 @@
+//! The ed25519 curve −x² + y² = 1 + d·x²y² over GF(2^255 − 19), in
+//! extended twisted-Edwards coordinates (X : Y : Z : T), XY = ZT.
+//!
+//! Formulas are the standard unified add / dedicated double for a = −1
+//! curves (the same completed-coordinates shapes ref10 uses), with strict
+//! RFC 8032 §5.1.3 decompression: non-canonical `y`, and `x = 0` with the
+//! sign bit set, are rejected at parse time. Every add/double bumps the
+//! thread-local [`super::PointOps`] counters.
+
+use std::sync::OnceLock;
+
+use super::fe::{sqrt_m1, Fe};
+use super::scalar::Scalar;
+use super::{count_add, count_double};
+
+/// The curve constant d = −121665/121666.
+pub fn d() -> &'static Fe {
+    static D: OnceLock<Fe> = OnceLock::new();
+    D.get_or_init(|| {
+        Fe::from_u64(121_665)
+            .neg()
+            .mul(&Fe::from_u64(121_666).invert())
+    })
+}
+
+/// 2·d, the constant the extended addition formula consumes.
+fn d2() -> &'static Fe {
+    static D2: OnceLock<Fe> = OnceLock::new();
+    D2.get_or_init(|| d().add(d()))
+}
+
+/// The RFC 8032 basepoint B (y = 4/5, x even).
+pub fn basepoint() -> &'static Point {
+    static B: OnceLock<Point> = OnceLock::new();
+    B.get_or_init(|| {
+        let mut bytes = [0x66u8; 32];
+        bytes[0] = 0x58;
+        Point::decompress(&bytes).expect("basepoint encoding is canonical")
+    })
+}
+
+/// A curve point in extended coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    /// The neutral element (0, 1).
+    pub const IDENTITY: Point = Point {
+        x: Fe::ZERO,
+        y: Fe::ONE,
+        z: Fe::ONE,
+        t: Fe::ZERO,
+    };
+
+    /// Unified point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        count_add();
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(d2()).mul(&other.t);
+        let zz = self.z.mul(&other.z);
+        let dd = zz.add(&zz);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Dedicated doubling.
+    pub fn double(&self) -> Point {
+        count_double();
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz = self.z.square();
+        let zz2 = zz.add(&zz);
+        let xy2 = self.x.add(&self.y).square();
+        let b = yy.add(&xx);
+        let a = xy2.sub(&b);
+        let c = yy.sub(&xx);
+        let dd = zz2.sub(&c);
+        Point {
+            x: a.mul(&dd),
+            y: b.mul(&c),
+            z: c.mul(&dd),
+            t: a.mul(&b),
+        }
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Point {
+        Point {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// True for the neutral element.
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.y.sub(&self.z).is_zero()
+    }
+
+    /// Multiplies by the cofactor 8 (three doublings) — the projection
+    /// that kills the torsion component before an identity check, making
+    /// batch and serial verification agree on adversarial points.
+    pub fn mul_by_cofactor(&self) -> Point {
+        self.double().double().double()
+    }
+
+    /// True for the eight points of order dividing 8 (the torsion
+    /// subgroup): exactly the points cofactored verification cannot
+    /// distinguish from the identity.
+    pub fn is_small_order(&self) -> bool {
+        self.mul_by_cofactor().is_identity()
+    }
+
+    /// True if the point lies in the prime-order subgroup (\[L\]P = 𝒪) —
+    /// the "mixed-order" check applied to public keys at registration.
+    pub fn is_torsion_free(&self) -> bool {
+        // Double-and-add over the bits of L itself (L is one more than
+        // the largest representable Scalar, so this cannot reuse `mul`).
+        const L_LIMBS: [u64; 4] = [
+            0x5812631a5cf5d3ed,
+            0x14def9dea2f79cd6,
+            0x0000000000000000,
+            0x1000000000000000,
+        ];
+        let mut acc = Point::IDENTITY;
+        let mut started = false;
+        for i in (0..253).rev() {
+            if started {
+                acc = acc.double();
+            }
+            if (L_LIMBS[i / 64] >> (i % 64)) & 1 == 1 {
+                if started {
+                    acc = acc.add(self);
+                } else {
+                    acc = *self;
+                    started = true;
+                }
+            }
+        }
+        acc.is_identity()
+    }
+
+    /// Scalar multiplication, radix-16 windows over a 15-entry table.
+    pub fn mul(&self, scalar: &Scalar) -> Point {
+        let table = PointTable::new(self);
+        let digits = scalar.to_radix16();
+        let mut acc = Point::IDENTITY;
+        let mut started = false;
+        for i in (0..64).rev() {
+            if started {
+                acc = acc.double().double().double().double();
+            }
+            if digits[i] != 0 {
+                acc = if started {
+                    acc.add(table.entry(digits[i]))
+                } else {
+                    started = true;
+                    *table.entry(digits[i])
+                };
+            }
+        }
+        acc
+    }
+
+    /// `[scalar]B` through a lazily built table of every radix-16 window
+    /// of the basepoint: ~64 additions and no doublings per call, the
+    /// fixed-base speedup signing and key generation lean on.
+    pub fn mul_base(scalar: &Scalar) -> Point {
+        static WINDOWS: OnceLock<Vec<PointTable>> = OnceLock::new();
+        let windows = WINDOWS.get_or_init(|| {
+            let mut tables = Vec::with_capacity(64);
+            let mut window_base = *basepoint();
+            for _ in 0..64 {
+                tables.push(PointTable::new(&window_base));
+                // Next window's base: 2^4 × the current one.
+                window_base = window_base.double().double().double().double();
+            }
+            tables
+        });
+        let digits = scalar.to_radix16();
+        let mut acc = Point::IDENTITY;
+        let mut started = false;
+        for (i, digit) in digits.iter().enumerate() {
+            if *digit != 0 {
+                let entry = windows[i].entry(*digit);
+                acc = if started { acc.add(entry) } else { *entry };
+                started = true;
+            }
+        }
+        acc
+    }
+
+    /// Compresses to the 32-byte RFC 8032 encoding: `y` with the sign of
+    /// `x` in bit 255.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut bytes = y.to_bytes();
+        if x.is_negative() {
+            bytes[31] |= 0x80;
+        }
+        bytes
+    }
+
+    /// Strict RFC 8032 §5.1.3 decompression.
+    ///
+    /// Rejects non-canonical `y` (the masked value must be < p), square
+    /// roots that do not exist (the encoding is not on the curve), and
+    /// the non-canonical "negative zero" (`x = 0` with sign bit 1).
+    pub fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let sign = bytes[31] >> 7 == 1;
+        let y = Fe::from_bytes(bytes);
+        let mut masked = *bytes;
+        masked[31] &= 0x7f;
+        if y.to_bytes() != masked {
+            return None; // non-canonical y
+        }
+
+        let yy = y.square();
+        let u = yy.sub(&Fe::ONE);
+        let v = yy.mul(d()).add(&Fe::ONE);
+        // Candidate root x = u·v³·(u·v⁷)^((p−5)/8).
+        let v3 = v.square().mul(&v);
+        let v7 = v3.square().mul(&v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+        let vxx = v.mul(&x.square());
+        if vxx.eq_fe(&u) {
+            // x is the root.
+        } else if vxx.eq_fe(&u.neg()) {
+            x = x.mul(&sqrt_m1());
+        } else {
+            return None; // not a square: off the curve
+        }
+        if x.is_zero() && sign {
+            return None; // non-canonical sign of zero
+        }
+        if x.is_negative() != sign {
+            x = x.neg();
+        }
+        Some(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(&y),
+        })
+    }
+}
+
+/// The multiples [1·P, 2·P, …, 15·P] a radix-16 window indexes into.
+pub(crate) struct PointTable([Point; 15]);
+
+impl PointTable {
+    pub(crate) fn new(point: &Point) -> PointTable {
+        let mut table = [*point; 15];
+        for i in 1..15 {
+            table[i] = table[i - 1].add(point);
+        }
+        PointTable(table)
+    }
+
+    /// The entry for a non-zero digit.
+    pub(crate) fn entry(&self, digit: u8) -> &Point {
+        debug_assert!((1..=15).contains(&digit));
+        &self.0[usize::from(digit) - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basepoint_is_canonical_and_torsion_free() {
+        let b = basepoint();
+        // y = 4/5.
+        let four_fifths = Fe::from_u64(4).mul(&Fe::from_u64(5).invert());
+        assert!(b.y.mul(&b.z.invert()).eq_fe(&four_fifths));
+        // Round-trips through compression.
+        let mut expected = [0x66u8; 32];
+        expected[0] = 0x58;
+        assert_eq!(b.compress(), expected);
+        // Lies in the prime-order subgroup and is not small-order.
+        assert!(b.is_torsion_free());
+        assert!(!b.is_small_order());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = basepoint();
+        assert!(Point::IDENTITY.is_identity());
+        assert!(Point::IDENTITY.is_small_order());
+        assert!(Point::IDENTITY.is_torsion_free());
+        // B + 𝒪 = B, B − B = 𝒪.
+        assert_eq!(b.add(&Point::IDENTITY).compress(), b.compress());
+        assert!(b.add(&b.neg()).is_identity());
+    }
+
+    #[test]
+    fn add_double_agree() {
+        let b = basepoint();
+        assert_eq!(b.add(b).compress(), b.double().compress());
+        let four = b.double().double();
+        assert_eq!(b.add(b).add(b).add(b).compress(), four.compress());
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_addition() {
+        let b = basepoint();
+        let mut acc = *b;
+        for k in 2u64..=20 {
+            acc = acc.add(b);
+            let via_mul = b.mul(&Scalar::from_u128(u128::from(k)));
+            assert_eq!(via_mul.compress(), acc.compress(), "k = {k}");
+            assert_eq!(
+                Point::mul_base(&Scalar::from_u128(u128::from(k))).compress(),
+                acc.compress(),
+                "base k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_distributes_over_scalar_add() {
+        let a = Scalar::from_bytes_mod_order(&[0x35; 32]);
+        let b = Scalar::from_bytes_mod_order(&[0x62; 32]);
+        let left = Point::mul_base(&a.add(&b));
+        let right = Point::mul_base(&a).add(&Point::mul_base(&b));
+        assert_eq!(left.compress(), right.compress());
+    }
+
+    #[test]
+    fn order_annihilates_basepoint_multiples() {
+        // [L]([k]B) = 𝒪 for any k — the subgroup really has order L.
+        for k in [1u128, 2, 7, 1 << 77] {
+            let p = Point::mul_base(&Scalar::from_u128(k));
+            assert!(p.is_torsion_free(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_non_canonical_y() {
+        // y = p (≡ 0, but encoded non-canonically).
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xed;
+        bytes[31] = 0x7f;
+        assert!(Point::decompress(&bytes).is_none());
+        // The canonical encoding of y = 0 decompresses fine (an order-4
+        // point).
+        let zero_y = [0u8; 32];
+        let p = Point::decompress(&zero_y).expect("y = 0 is on the curve");
+        assert!(p.is_small_order());
+        assert!(!p.is_torsion_free());
+    }
+
+    #[test]
+    fn decompress_rejects_negative_zero_x() {
+        // y = 1 is the identity (x = 0); with the sign bit set the
+        // encoding is non-canonical and must be rejected.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 1;
+        assert!(Point::decompress(&bytes).is_some());
+        bytes[31] |= 0x80;
+        assert!(Point::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_off_curve_y() {
+        // Scan a few y values; at least one must be off-curve, and
+        // decompress(compress(P)) must be P for those on it.
+        let mut rejected = 0;
+        for y in 2u8..30 {
+            let mut bytes = [0u8; 32];
+            bytes[0] = y;
+            match Point::decompress(&bytes) {
+                Some(p) => assert_eq!(p.compress(), bytes),
+                None => rejected += 1,
+            }
+        }
+        assert!(rejected > 0, "every candidate y decompressed");
+    }
+
+    #[test]
+    fn ops_counters_track_work() {
+        let before = super::super::ops_snapshot();
+        let _ = basepoint().double();
+        let _ = basepoint().add(basepoint());
+        let after = super::super::ops_snapshot();
+        let delta = after - before;
+        assert_eq!(delta.doubles, 1);
+        assert_eq!(delta.adds, 1);
+        assert_eq!(delta.total(), 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Integers modulo the ed25519 basepoint order
+//! L = 2^252 + 27742317777372353535851937790883648493.
+//!
+//! Scalar work is a rounding error next to point operations, so the
+//! representation favors obvious correctness: four `u64` limbs, wide
+//! products reduced by binary shift-subtract long division. Canonicality
+//! (`s < L`, RFC 8032's strict check on the wire) is a first-class
+//! operation.
+
+/// The group order `L`, as little-endian `u64` limbs.
+const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+/// An integer mod L, always fully reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+impl Scalar {
+    /// Zero.
+    pub const ZERO: Scalar = Scalar([0; 4]);
+    /// One.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Parses a canonical little-endian encoding, rejecting `s ≥ L`
+    /// (RFC 8032 strict verification — malleable encodings never reach
+    /// the arithmetic).
+    pub fn from_bytes_canonical(bytes: &[u8; 32]) -> Option<Scalar> {
+        let limbs = load_limbs(bytes);
+        if less_than(&limbs, &L) {
+            Some(Scalar(limbs))
+        } else {
+            None
+        }
+    }
+
+    /// Parses 32 little-endian bytes, reducing mod L.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&load_limbs(bytes));
+        reduce_wide(&wide)
+    }
+
+    /// Parses 64 little-endian bytes (a SHA-512 output), reducing mod L.
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut wide = [0u64; 8];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            wide[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        reduce_wide(&wide)
+    }
+
+    /// A 128-bit value as a scalar (batch-verification coefficients).
+    pub fn from_u128(value: u128) -> Scalar {
+        Scalar([value as u64, (value >> 64) as u64, 0, 0])
+    }
+
+    /// Canonical little-endian encoding.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Sum mod L.
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        let mut limbs = [0u64; 4];
+        let mut carry = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let (sum, o1) = self.0[i].overflowing_add(other.0[i]);
+            let (sum, o2) = sum.overflowing_add(carry);
+            *limb = sum;
+            carry = u64::from(o1) + u64::from(o2);
+        }
+        // Both inputs < L < 2^253, so the sum fits 254 bits: no carry
+        // out, and at most one subtraction of L.
+        debug_assert_eq!(carry, 0);
+        if !less_than(&limbs, &L) {
+            sub_in_place(&mut limbs, &L);
+        }
+        Scalar(limbs)
+    }
+
+    /// Additive inverse mod L.
+    pub fn neg(&self) -> Scalar {
+        if self.0 == [0; 4] {
+            return Scalar::ZERO;
+        }
+        let mut limbs = L;
+        sub_in_place(&mut limbs, &self.0);
+        Scalar(limbs)
+    }
+
+    /// Product mod L.
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let acc = wide[i + j] as u128 + (self.0[i] as u128) * (other.0[j] as u128) + carry;
+                wide[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        reduce_wide(&wide)
+    }
+
+    /// True for the zero scalar.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// The scalar as 64 base-16 digits, little-endian — the window
+    /// decomposition Straus-style multi-scalar multiplication walks.
+    pub fn to_radix16(self) -> [u8; 64] {
+        let bytes = self.to_bytes();
+        let mut digits = [0u8; 64];
+        for (i, byte) in bytes.iter().enumerate() {
+            digits[2 * i] = byte & 0x0f;
+            digits[2 * i + 1] = byte >> 4;
+        }
+        digits
+    }
+
+    /// Digit `index` of the base-2^width decomposition (width ≤ 16) —
+    /// the bucket selector for Pippenger windows.
+    pub fn window_digit(&self, index: usize, width: usize) -> usize {
+        debug_assert!(width <= 16);
+        let bit = index * width;
+        if bit >= 256 {
+            return 0;
+        }
+        let limb = bit / 64;
+        let shift = bit % 64;
+        let mut digit = self.0[limb] >> shift;
+        if shift + width > 64 && limb + 1 < 4 {
+            digit |= self.0[limb + 1] << (64 - shift);
+        }
+        (digit as usize) & ((1 << width) - 1)
+    }
+}
+
+fn load_limbs(bytes: &[u8; 32]) -> [u64; 4] {
+    let mut limbs = [0u64; 4];
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        limbs[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    limbs
+}
+
+fn less_than(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (diff, b1) = a[i].overflowing_sub(b[i]);
+        let (diff, b2) = diff.overflowing_sub(borrow);
+        a[i] = diff;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflow");
+}
+
+/// Reduces a 512-bit value mod L by binary long division: scan bits from
+/// the top, shifting into an accumulator that is reduced whenever it
+/// reaches L. ~512 constant-time-ish limb steps — microseconds, done a
+/// handful of times per signature.
+fn reduce_wide(wide: &[u64; 8]) -> Scalar {
+    let mut acc = [0u64; 4];
+    for i in (0..512).rev() {
+        // acc = (acc << 1) | bit_i; acc < 2L < 2^254 so the shift never
+        // overflows 256 bits.
+        let mut carry = (wide[i / 64] >> (i % 64)) & 1;
+        for limb in acc.iter_mut() {
+            let next = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = next;
+        }
+        debug_assert_eq!(carry, 0);
+        if !less_than(&acc, &L) {
+            sub_in_place(&mut acc, &L);
+        }
+    }
+    Scalar(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_minus_one() -> Scalar {
+        let mut limbs = L;
+        sub_in_place(&mut limbs, &[1, 0, 0, 0]);
+        Scalar(limbs)
+    }
+
+    #[test]
+    fn canonical_boundary() {
+        // L − 1 parses; L and L + 1 do not.
+        assert!(Scalar::from_bytes_canonical(&l_minus_one().to_bytes()).is_some());
+        let l_bytes = Scalar(L).to_bytes();
+        assert!(Scalar::from_bytes_canonical(&l_bytes).is_none());
+        let mut l_plus = L;
+        l_plus[0] += 1;
+        assert!(Scalar::from_bytes_canonical(&Scalar(l_plus).to_bytes()).is_none());
+        // …but mod-order parsing folds them back.
+        assert_eq!(Scalar::from_bytes_mod_order(&l_bytes), Scalar::ZERO);
+    }
+
+    #[test]
+    fn add_wraps_at_l() {
+        let a = l_minus_one();
+        assert_eq!(a.add(&Scalar::ONE), Scalar::ZERO);
+        assert_eq!(a.add(&Scalar::ZERO), a);
+        // (L − 1) + (L − 1) = L − 2 mod L.
+        let mut expect = L;
+        sub_in_place(&mut expect, &[2, 0, 0, 0]);
+        assert_eq!(a.add(&a), Scalar(expect));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        for value in [0u128, 1, 2, 0xffff_ffff_ffff_ffff, 1 << 100] {
+            let s = Scalar::from_u128(value);
+            assert_eq!(s.add(&s.neg()), Scalar::ZERO, "{value}");
+        }
+        assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
+    }
+
+    #[test]
+    fn mul_small_values_and_identities() {
+        let six = Scalar::from_u128(6);
+        let seven = Scalar::from_u128(7);
+        assert_eq!(six.mul(&seven), Scalar::from_u128(42));
+        assert_eq!(six.mul(&Scalar::ONE), six);
+        assert_eq!(six.mul(&Scalar::ZERO), Scalar::ZERO);
+        // (L − 1)² = 1 mod L (since L − 1 ≡ −1).
+        assert_eq!(l_minus_one().mul(&l_minus_one()), Scalar::ONE);
+    }
+
+    #[test]
+    fn wide_reduction_matches_mul() {
+        // 2^256 mod L via from_bytes_wide equals ((2^128 mod L)²) mod L.
+        let mut wide_bytes = [0u8; 64];
+        wide_bytes[32] = 1; // 2^256
+        let direct = Scalar::from_bytes_wide(&wide_bytes);
+        let half = {
+            let mut bytes = [0u8; 64];
+            bytes[16] = 1; // 2^128
+            Scalar::from_bytes_wide(&bytes)
+        };
+        assert_eq!(direct, half.mul(&half));
+    }
+
+    #[test]
+    fn radix16_recomposes() {
+        let s = Scalar::from_u128(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+        let digits = s.to_radix16();
+        let mut acc = Scalar::ZERO;
+        let sixteen = Scalar::from_u128(16);
+        for digit in digits.iter().rev() {
+            acc = acc
+                .mul(&sixteen)
+                .add(&Scalar::from_u128(u128::from(*digit)));
+        }
+        assert_eq!(acc, s);
+    }
+
+    #[test]
+    fn window_digits_recompose() {
+        let s = l_minus_one();
+        for width in [4usize, 6, 8, 12] {
+            let windows = 256usize.div_ceil(width);
+            let mut acc = Scalar::ZERO;
+            let base = Scalar::from_u128(1 << width);
+            for w in (0..windows).rev() {
+                acc = acc.mul(&base);
+                acc = acc.add(&Scalar::from_u128(s.window_digit(w, width) as u128));
+            }
+            assert_eq!(acc, s, "width {width}");
+        }
+    }
+}

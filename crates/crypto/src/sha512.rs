@@ -1,0 +1,353 @@
+//! FIPS 180-4 SHA-512, implemented from scratch.
+//!
+//! RFC 8032 defines ed25519 over SHA-512 (key expansion, the nonce `r`,
+//! and the challenge scalar `h` are all SHA-512 outputs reduced mod `L`),
+//! and the environment provides no cryptographic crates, so the standard
+//! is implemented directly — the 64-bit sibling of [`crate::sha256`],
+//! validated against the FIPS 180-4 / NIST CAVP test vectors below.
+
+/// Round constants: first 64 bits of the fractional parts of the cube
+/// roots of the first 80 primes (FIPS 180-4 §4.2.3).
+const K: [u64; 80] = [
+    0x428a2f98d728ae22,
+    0x7137449123ef65cd,
+    0xb5c0fbcfec4d3b2f,
+    0xe9b5dba58189dbbc,
+    0x3956c25bf348b538,
+    0x59f111f1b605d019,
+    0x923f82a4af194f9b,
+    0xab1c5ed5da6d8118,
+    0xd807aa98a3030242,
+    0x12835b0145706fbe,
+    0x243185be4ee4b28c,
+    0x550c7dc3d5ffb4e2,
+    0x72be5d74f27b896f,
+    0x80deb1fe3b1696b1,
+    0x9bdc06a725c71235,
+    0xc19bf174cf692694,
+    0xe49b69c19ef14ad2,
+    0xefbe4786384f25e3,
+    0x0fc19dc68b8cd5b5,
+    0x240ca1cc77ac9c65,
+    0x2de92c6f592b0275,
+    0x4a7484aa6ea6e483,
+    0x5cb0a9dcbd41fbd4,
+    0x76f988da831153b5,
+    0x983e5152ee66dfab,
+    0xa831c66d2db43210,
+    0xb00327c898fb213f,
+    0xbf597fc7beef0ee4,
+    0xc6e00bf33da88fc2,
+    0xd5a79147930aa725,
+    0x06ca6351e003826f,
+    0x142929670a0e6e70,
+    0x27b70a8546d22ffc,
+    0x2e1b21385c26c926,
+    0x4d2c6dfc5ac42aed,
+    0x53380d139d95b3df,
+    0x650a73548baf63de,
+    0x766a0abb3c77b2a8,
+    0x81c2c92e47edaee6,
+    0x92722c851482353b,
+    0xa2bfe8a14cf10364,
+    0xa81a664bbc423001,
+    0xc24b8b70d0f89791,
+    0xc76c51a30654be30,
+    0xd192e819d6ef5218,
+    0xd69906245565a910,
+    0xf40e35855771202a,
+    0x106aa07032bbd1b8,
+    0x19a4c116b8d2d0c8,
+    0x1e376c085141ab53,
+    0x2748774cdf8eeb99,
+    0x34b0bcb5e19b48a8,
+    0x391c0cb3c5c95a63,
+    0x4ed8aa4ae3418acb,
+    0x5b9cca4f7763e373,
+    0x682e6ff3d6b2b8a3,
+    0x748f82ee5defb2fc,
+    0x78a5636f43172f60,
+    0x84c87814a1f0ab72,
+    0x8cc702081a6439ec,
+    0x90befffa23631e28,
+    0xa4506cebde82bde9,
+    0xbef9a3f7b2c67915,
+    0xc67178f2e372532b,
+    0xca273eceea26619c,
+    0xd186b8c721c0c207,
+    0xeada7dd6cde0eb1e,
+    0xf57d4f7fee6ed178,
+    0x06f067aa72176fba,
+    0x0a637dc5a2c898a6,
+    0x113f9804bef90dae,
+    0x1b710b35131c471b,
+    0x28db77f523047d84,
+    0x32caab7b40c72493,
+    0x3c9ebe0a15c9bebc,
+    0x431d67c49c100d4c,
+    0x4cc5d4becb3e42b6,
+    0x597f299cfc657e2a,
+    0x5fcb6fab3ad6faec,
+    0x6c44198c4a475817,
+];
+
+/// Initial hash values: first 64 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.5).
+const H0: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// Incremental SHA-512 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_crypto::Sha512;
+///
+/// let mut hasher = Sha512::new();
+/// hasher.update(b"ab");
+/// hasher.update(b"c");
+/// let digest = hasher.finalize();
+/// assert_eq!(digest[0], 0xdd);
+/// assert_eq!(digest.len(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    /// Partially filled block awaiting compression.
+    buffer: [u8; 128],
+    /// Number of valid bytes in `buffer` (< 128).
+    buffered: usize,
+    /// Total message length in bytes so far (messages beyond 2^64 bytes
+    /// are out of scope for this repo).
+    length: u64,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha512 {
+            state: H0,
+            buffer: [0; 128],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        if self.buffered > 0 {
+            let take = (128 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 128 {
+                let block = self.buffer;
+                compress(&mut self.state, &block);
+                self.buffered = 0;
+            }
+        }
+
+        while input.len() >= 128 {
+            let mut block = [0u8; 128];
+            block.copy_from_slice(&input[..128]);
+            compress(&mut self.state, &block);
+            input = &input[128..];
+        }
+
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Completes the hash and returns the 64-byte digest, consuming the
+    /// hasher.
+    pub fn finalize(mut self) -> [u8; 64] {
+        let bit_length = (self.length as u128).wrapping_mul(8);
+
+        // Padding: 0x80, zeros, then the 128-bit big-endian bit length.
+        self.push_byte(0x80);
+        while self.buffered != 112 {
+            self.push_byte(0);
+        }
+        let mut block = self.buffer;
+        block[112..128].copy_from_slice(&bit_length.to_be_bytes());
+        compress(&mut self.state, &block);
+
+        let mut out = [0u8; 64];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn push_byte(&mut self, byte: u8) {
+        self.buffer[self.buffered] = byte;
+        self.buffered += 1;
+        if self.buffered == 128 {
+            let block = self.buffer;
+            compress(&mut self.state, &block);
+            self.buffered = 0;
+            self.buffer = [0; 128];
+        }
+    }
+}
+
+/// One application of the SHA-512 compression function (FIPS 180-4
+/// §6.4.2).
+fn compress(state: &mut [u64; 8], block: &[u8; 128]) {
+    let mut w = [0u64; 80];
+    for (i, chunk) in block.chunks_exact(8).enumerate() {
+        w[i] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    for i in 16..80 {
+        let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+        let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for i in 0..80 {
+        let big_s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+        let ch = (e & f) ^ (!e & g);
+        let temp1 = h
+            .wrapping_add(big_s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let big_s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = big_s0.wrapping_add(maj);
+
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Hashes `data` in one shot.
+///
+/// # Examples
+///
+/// ```
+/// use dagbft_crypto::sha512;
+///
+/// let digest = sha512(b"");
+/// assert_eq!(digest[0], 0xcf);
+/// assert_eq!(digest[63], 0x3e);
+/// ```
+pub fn sha512(data: impl AsRef<[u8]>) -> [u8; 64] {
+    let mut hasher = Sha512::new();
+    hasher.update(data.as_ref());
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: [u8; 64]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(
+            hex(sha512(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+        );
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            hex(sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+        );
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(sha512(
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+                  ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+            )),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018\
+             501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(sha512(&data)),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb\
+             de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(400).collect();
+        let expected = sha512(&data);
+        for split in 0..data.len() {
+            let mut hasher = Sha512::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finalize(), expected, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_cases() {
+        // Padding edge cases: lengths around the 111/112/128 boundaries.
+        for len in [110usize, 111, 112, 113, 127, 128, 129, 239, 240, 256] {
+            let data = vec![0xabu8; len];
+            let oneshot = sha512(&data);
+            let mut hasher = Sha512::new();
+            for byte in &data {
+                hasher.update(std::slice::from_ref(byte));
+            }
+            assert_eq!(hasher.finalize(), oneshot, "len {len}");
+        }
+    }
+}

@@ -14,7 +14,7 @@ use dagbft_core::{
     AdmissionMode, DeterministicProtocol, Label, NetCommand, NetMessage, ProtocolConfig, Shim,
     ShimConfig, TimeMs,
 };
-use dagbft_crypto::{KeyRegistry, ServerId};
+use dagbft_crypto::{KeyRegistry, SchemeKind, ServerId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,6 +92,12 @@ pub struct SimConfig {
     /// Bound on each correct server's gossip pending buffer (see
     /// `dagbft_core::GossipConfig::pending_cap`).
     pub pending_cap: usize,
+    /// Signature scheme for the whole server set: the HMAC stand-in
+    /// (default — cheap, the determinism oracle) or real ed25519 with
+    /// multi-scalar batch verification. Promotion orders and delivery
+    /// sequences are identical under both; only signature bytes and
+    /// per-operation cost differ.
+    pub scheme: SchemeKind,
 }
 
 impl SimConfig {
@@ -112,6 +118,7 @@ impl SimConfig {
             admission: AdmissionMode::default(),
             ingest: IngestMode::default(),
             pending_cap: dagbft_core::DEFAULT_PENDING_CAP,
+            scheme: SchemeKind::default(),
         }
     }
 
@@ -166,6 +173,12 @@ impl SimConfig {
     /// Bounds each correct server's gossip pending buffer.
     pub fn with_pending_cap(mut self, cap: usize) -> Self {
         self.pending_cap = cap.max(1);
+        self
+    }
+
+    /// Selects the signature scheme for the whole server set.
+    pub fn with_scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
         self
     }
 
@@ -340,7 +353,7 @@ impl<P: DeterministicProtocol> Simulation<P> {
     ///
     /// Panics if a configured role index is out of range.
     pub fn new(config: SimConfig) -> Self {
-        let registry = KeyRegistry::generate(config.n, config.seed);
+        let registry = KeyRegistry::generate_kind(config.scheme, config.n, config.seed);
         let shim_config = ShimConfig::new(config.protocol)
             .with_max_requests_per_block(config.max_requests_per_block)
             .with_admission(config.admission)

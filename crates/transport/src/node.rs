@@ -12,10 +12,6 @@ use dagbft_crypto::{KeyRegistry, ServerId};
 
 use crate::tcp::TcpTransport;
 
-/// Maximum messages folded into one deferred-admission burst by the
-/// node's event loop — bounds latency added by draining the channel.
-const MAX_INGEST_BURST: usize = 1024;
-
 /// Pacing configuration for a node's event loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeConfig {
@@ -23,6 +19,19 @@ pub struct NodeConfig {
     pub disseminate_every_ms: u64,
     /// Interval between `FWD` retry ticks.
     pub tick_every_ms: u64,
+    /// Maximum messages folded into one deferred-admission burst by the
+    /// event loop — bounds the latency added by draining the channel.
+    /// Wider caps amortize verification better under sustained load;
+    /// narrower ones keep tail latency low (clamped to at least 1).
+    pub ingest_burst_cap: usize,
+}
+
+impl NodeConfig {
+    /// Caps the per-iteration ingest burst (clamped to at least 1).
+    pub fn with_ingest_burst_cap(mut self, cap: usize) -> Self {
+        self.ingest_burst_cap = cap.max(1);
+        self
+    }
 }
 
 impl Default for NodeConfig {
@@ -30,6 +39,7 @@ impl Default for NodeConfig {
         NodeConfig {
             disseminate_every_ms: 50,
             tick_every_ms: 100,
+            ingest_burst_cap: 1024,
         }
     }
 }
@@ -145,7 +155,7 @@ where
                         // once — the ingest shape the parallel admission
                         // pool is built for.
                         let mut batch = vec![first];
-                        while batch.len() < MAX_INGEST_BURST {
+                        while batch.len() < pacing.ingest_burst_cap.max(1) {
                             match transport.incoming().try_recv() {
                                 Ok(message) => batch.push(message),
                                 Err(_) => break,

@@ -21,6 +21,7 @@ fn brb_broadcast_over_real_tcp() {
         NodeConfig {
             disseminate_every_ms: 20,
             tick_every_ms: 50,
+            ..NodeConfig::default()
         },
         9,
     )
@@ -61,6 +62,7 @@ fn parallel_instances_over_real_tcp() {
         NodeConfig {
             disseminate_every_ms: 20,
             tick_every_ms: 50,
+            ..NodeConfig::default()
         },
         11,
     )

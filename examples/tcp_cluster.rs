@@ -19,6 +19,7 @@ fn main() {
     let pacing = NodeConfig {
         disseminate_every_ms: 25,
         tick_every_ms: 50,
+        ..NodeConfig::default()
     };
     let (nodes, _registry) =
         spawn_local_cluster::<Brb<u64>>(n, config, pacing, 2026).expect("bind localhost cluster");

@@ -68,7 +68,7 @@ pub mod prelude {
         Label, LabeledRequest, NetCommand, NetMessage, Outbox, ProtocolConfig,
         ReferenceInterpreter, SeqNum, Shim, ShimConfig, TimeMs,
     };
-    pub use dagbft_crypto::{KeyRegistry, ServerId};
+    pub use dagbft_crypto::{KeyRegistry, SchemeKind, ServerId};
     pub use dagbft_protocols::{
         AccountId, Bcb, BcbIndication, BcbMessage, BcbRequest, Brb, BrbIndication, BrbMessage,
         BrbRequest, Ledger, Smr, SmrIndication, SmrMessage, SmrRequest, Transfer,

@@ -13,9 +13,9 @@
 use dagbft::prelude::*;
 
 /// Runs one BRB workload (three broadcasts across servers, lossy
-/// network) under the given admission engine and fingerprints everything
-/// observable about the outcome.
-fn run_fingerprint_with(seed: u64, admission: AdmissionMode) -> Vec<u8> {
+/// network) under the given admission engine and signature scheme, and
+/// fingerprints everything observable about the outcome.
+fn run_fingerprint_scheme(seed: u64, admission: AdmissionMode, scheme: SchemeKind) -> Vec<u8> {
     let n = 4;
     let values = [7u64, 1000 + seed, 13];
     let expected = values.len() * n;
@@ -24,6 +24,7 @@ fn run_fingerprint_with(seed: u64, admission: AdmissionMode) -> Vec<u8> {
         .with_max_time(120_000)
         .with_network(NetworkModel::default().with_drop_rate(0.05))
         .with_admission(admission)
+        .with_scheme(scheme)
         .with_stop_after_deliveries(expected);
     let mut sim: Simulation<Brb<u64>> = Simulation::new(config);
     for (i, value) in values.iter().enumerate() {
@@ -87,6 +88,10 @@ fn run_fingerprint_with(seed: u64, admission: AdmissionMode) -> Vec<u8> {
     fingerprint
 }
 
+fn run_fingerprint_with(seed: u64, admission: AdmissionMode) -> Vec<u8> {
+    run_fingerprint_scheme(seed, admission, SchemeKind::Hmac)
+}
+
 fn run_fingerprint(seed: u64) -> Vec<u8> {
     run_fingerprint_with(seed, AdmissionMode::Index)
 }
@@ -126,6 +131,53 @@ fn admission_engines_are_byte_identical_at_system_level() {
     }
 }
 
+/// The fingerprint up to the per-block content hashes — the subset that
+/// must be scheme-independent. `ref(B)` excludes `σ` (Definition 3.1)
+/// and `Signature` has one wire size for every scheme, so swapping
+/// schemes may only change the signature bytes inside blocks; the
+/// schedule, deliveries, wire metrics, and crypto counters must not move.
+fn schedule_prefix(fingerprint: &[u8]) -> &[u8] {
+    let text = std::str::from_utf8(fingerprint).expect("fingerprint is utf8");
+    match text.find("dag:") {
+        Some(at) => &fingerprint[..at],
+        None => fingerprint,
+    }
+}
+
+#[test]
+fn ed25519_engines_byte_identical_and_schedule_matches_hmac() {
+    // Real ed25519 admission is far costlier than the HMAC stand-in, so
+    // a seed subset carries this one: all three admission engines agree
+    // byte-for-byte under the real scheme, and the whole schedule is
+    // identical to the HMAC run — only the signature bytes inside the
+    // blocks (hence the block-content hashes) differ.
+    for seed in [0, 42] {
+        let index = run_fingerprint_scheme(seed, AdmissionMode::Index, SchemeKind::Ed25519);
+        let scan = run_fingerprint_scheme(seed, AdmissionMode::Scan, SchemeKind::Ed25519);
+        assert_eq!(index, scan, "seed {seed}: ed25519 index vs scan diverged");
+        let parallel = run_fingerprint_scheme(
+            seed,
+            AdmissionMode::Parallel { workers: 2 },
+            SchemeKind::Ed25519,
+        );
+        assert_eq!(
+            index, parallel,
+            "seed {seed}: ed25519 index vs parallel diverged"
+        );
+
+        let hmac = run_fingerprint_with(seed, AdmissionMode::Index);
+        assert_eq!(
+            schedule_prefix(&index),
+            schedule_prefix(&hmac),
+            "seed {seed}: swapping the signature scheme moved the schedule"
+        );
+        assert_ne!(
+            index, hmac,
+            "seed {seed}: schemes produced identical block bytes"
+        );
+    }
+}
+
 /// CI hook for the determinism smoke step: when `DAGBFT_FP_OUT` is set,
 /// write a digest of the full cross-seed, cross-engine fingerprint
 /// corpus to that path. CI runs the suite twice — `--test-threads=1` and
@@ -133,20 +185,29 @@ fn admission_engines_are_byte_identical_at_system_level() {
 /// pool (or any future thread) leaking scheduling order into an
 /// observable fails the build even if each in-process assertion still
 /// holds.
+/// `DAGBFT_FP_SCHEME=ed25519` switches the exported corpus to the real
+/// scheme (with a smaller seed set — ed25519 runs are costlier); any
+/// other value, or none, exports the HMAC corpus.
 #[test]
 fn fingerprint_digest_export() {
     let Ok(path) = std::env::var("DAGBFT_FP_OUT") else {
         return;
     };
+    let (scheme, seeds): (SchemeKind, &[u64]) =
+        if std::env::var("DAGBFT_FP_SCHEME").as_deref() == Ok("ed25519") {
+            (SchemeKind::Ed25519, &[0, 42])
+        } else {
+            (SchemeKind::Hmac, &[0, 7, 42])
+        };
     let mut corpus = Vec::new();
-    for seed in [0, 7, 42] {
+    for &seed in seeds {
         for (name, mode) in [
             ("index", AdmissionMode::Index),
             ("scan", AdmissionMode::Scan),
             ("parallel", AdmissionMode::Parallel { workers: 2 }),
         ] {
             corpus.extend_from_slice(format!("{seed}:{name}:").as_bytes());
-            corpus.extend_from_slice(&run_fingerprint_with(seed, mode));
+            corpus.extend_from_slice(&run_fingerprint_scheme(seed, mode, scheme));
         }
     }
     let digest = dagbft::crypto::sha256(&corpus).to_hex();
