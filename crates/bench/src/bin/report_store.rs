@@ -1,0 +1,289 @@
+//! Durable-store experiment: journal recovery cost, genesis replay vs
+//! snapshot catch-up.
+//!
+//! The workload drives one observing shim (`n = 5`, four active builders)
+//! through a deep block chain carrying one BRB broadcast per round, with a
+//! durable journal attached. Recovery is then measured by detaching the
+//! journal and rebuilding the server from it — exactly the crash-restart
+//! path — under three regimes: no snapshots (genesis replay of the whole
+//! journal) and two snapshot cadences (recovery replays only the suffix
+//! past the last persisted interpreter snapshot).
+//!
+//! The `--check` floors are *counter*-based and therefore
+//! machine-independent: the [`dagbft_core::RecoveryReport`] replay
+//! counters must show every snapshot row replaying at most half the
+//! blocks a genesis replay interprets (the deepest cadence at most an
+//! eighth — ≥2× and ≥8× replay speedups). Wall-clock is reported
+//! alongside but not gated: journal parse and DAG rebuild are common to
+//! both paths, and the snapshot record itself is re-checksummed on open,
+//! so wall-clock only favors snapshots once interpretation dominates
+//! (see the reading note printed with the table).
+//!
+//! The final stdout line is a machine-readable JSON object
+//! (`BENCH_store.json` is a checked-in snapshot). `--check` re-runs the
+//! experiment, enforces the floors, and diffs the JSON schema against the
+//! snapshot.
+//!
+//! Run with: `cargo run --release -p dagbft-bench --bin report_store`
+
+use std::time::Instant;
+
+use dagbft_bench::{check_snapshot_schema, cores, f2};
+use dagbft_core::{
+    Block, BlockStore, Label, LabeledRequest, NetMessage, ProtocolConfig, RecoveryReport, SeqNum,
+    Shim, ShimConfig,
+};
+use dagbft_crypto::{KeyRegistry, ServerId};
+use dagbft_protocols::{Brb, BrbRequest};
+use dagbft_store::MemStore;
+
+const SEED: u64 = 13;
+/// Active builders; the fifth server only observes, journals, recovers.
+const BUILDERS: usize = 4;
+const N: usize = BUILDERS + 1;
+/// Chain depth in rounds — `ROUNDS × BUILDERS` journaled blocks.
+const ROUNDS: u64 = 512;
+/// The recovering server.
+const ME: u32 = BUILDERS as u32;
+/// Repetitions of each timed recovery (best-of).
+const REPS: usize = 3;
+
+/// `(cadence, tag)`: `0` = snapshots disabled (genesis replay).
+const MODES: [(u64, &str); 3] = [
+    (0, "genesis"),
+    (1280, "snapshot@1280"),
+    (1792, "snapshot@1792"),
+];
+
+struct Row {
+    mode: &'static str,
+    report: RecoveryReport,
+    recover_seconds: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"journal_blocks\":{},\"snapshot_covered\":{},\
+             \"replayed_blocks\":{},\"requests_rebuffered\":{},\"recover_seconds\":{:.6}}}",
+            self.mode,
+            self.report.journal_blocks,
+            self.report.snapshot_covered,
+            self.report.replayed_blocks,
+            self.report.requests_rebuffered,
+            self.recover_seconds,
+        )
+    }
+}
+
+/// The deep chain: `ROUNDS` fully-connected layers, one BRB broadcast
+/// injected per round so interpretation does real protocol work all the
+/// way down.
+fn build_chain(registry: &KeyRegistry) -> Vec<Block> {
+    let signers: Vec<_> = (0..BUILDERS)
+        .map(|i| registry.signer(ServerId::new(i as u32)).unwrap())
+        .collect();
+    let mut blocks = Vec::with_capacity(ROUNDS as usize * BUILDERS);
+    let mut prev = Vec::new();
+    for round in 0..ROUNDS {
+        let mut layer = Vec::new();
+        for (index, signer) in signers.iter().enumerate() {
+            let requests = if round as usize % BUILDERS == index {
+                vec![LabeledRequest::encode(
+                    Label::new(round),
+                    &BrbRequest::Broadcast(round),
+                )]
+            } else {
+                vec![]
+            };
+            let block = Block::build(
+                ServerId::new(index as u32),
+                SeqNum::new(round),
+                prev.clone(),
+                requests,
+                signer,
+            );
+            layer.push(block.block_ref());
+            blocks.push(block);
+        }
+        prev = layer;
+    }
+    blocks
+}
+
+/// Feeds the whole chain through a journaling shim and returns the
+/// resulting journal (with a snapshot when `cadence > 0`).
+fn populate_journal(registry: &KeyRegistry, blocks: &[Block], cadence: u64) -> Box<dyn BlockStore> {
+    let config = ShimConfig::new(ProtocolConfig::for_n(N));
+    let store = Box::new(MemStore::in_memory());
+    let (mut shim, report) =
+        Shim::<Brb<u64>>::recover_from_store(ServerId::new(ME), config, registry, store)
+            .expect("empty journal recovers to a fresh shim");
+    assert_eq!(report.journal_blocks, 0);
+    if cadence > 0 {
+        shim.enable_snapshots(cadence);
+    }
+    for (round, layer) in blocks.chunks(BUILDERS).enumerate() {
+        let burst = layer
+            .iter()
+            .map(|block| (block.builder(), NetMessage::Block(block.clone())));
+        shim.on_message_burst(burst, round as u64);
+        shim.poll_indications();
+    }
+    assert!(shim.store_error().is_none(), "journaling stayed healthy");
+    let store = shim.detach_store().expect("store is attached");
+    let contents = store.contents().expect("journal reads back");
+    assert_eq!(contents.blocks.len(), blocks.len(), "all blocks journaled");
+    store
+}
+
+fn measure(registry: &KeyRegistry, blocks: &[Block], cadence: u64, mode: &'static str) -> Row {
+    let mut store = populate_journal(registry, blocks, cadence);
+    let config = ShimConfig::new(ProtocolConfig::for_n(N));
+    let recover = if cadence > 0 {
+        Shim::<Brb<u64>>::recover_from_store_with_snapshots
+    } else {
+        Shim::<Brb<u64>>::recover_from_store
+    };
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (mut shim, rep) =
+            recover(ServerId::new(ME), config, registry, store).expect("recovery succeeds");
+        best = best.min(start.elapsed().as_secs_f64());
+        shim.poll_indications();
+        assert_eq!(
+            shim.dag().len(),
+            blocks.len(),
+            "recovered DAG holds the whole chain"
+        );
+        store = shim.detach_store().expect("store re-attached by recovery");
+        report = Some(rep);
+    }
+    let report = report.expect("at least one repetition ran");
+    assert_eq!(report.journal_blocks, blocks.len());
+    assert_eq!(
+        report.snapshot_covered + report.replayed_blocks,
+        report.journal_blocks,
+        "replay covers exactly the suffix past the snapshot"
+    );
+    Row {
+        mode,
+        report,
+        recover_seconds: best,
+    }
+}
+
+fn run() -> (Vec<Row>, String) {
+    let registry = KeyRegistry::generate(N, SEED);
+    let blocks = build_chain(&registry);
+    let rows: Vec<Row> = MODES
+        .into_iter()
+        .map(|(cadence, mode)| measure(&registry, &blocks, cadence, mode))
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"store_recovery\",\"protocol\":\"brb\",\"seed\":{},\"cores\":{},\
+         \"chain_blocks\":{},\"rows\":[{}]}}",
+        SEED,
+        cores(),
+        ROUNDS as usize * BUILDERS,
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(","),
+    );
+    (rows, json)
+}
+
+fn check(rows: &[Row], json: &str) -> Result<(), String> {
+    let genesis = rows
+        .iter()
+        .find(|row| row.mode == "genesis")
+        .ok_or("no genesis row")?;
+    if genesis.report.replayed_blocks != genesis.report.journal_blocks {
+        return Err("genesis replay must re-interpret the whole journal".into());
+    }
+    for row in rows.iter().filter(|row| row.mode != "genesis") {
+        if row.report.snapshot_covered == 0 {
+            return Err(format!("{}: no snapshot was persisted", row.mode));
+        }
+        // The machine-independent floor: snapshot catch-up replays at
+        // most half of what genesis replay interprets.
+        if row.report.replayed_blocks * 2 > genesis.report.replayed_blocks {
+            return Err(format!(
+                "{}: replayed {} of {} — snapshot must at least halve the replay",
+                row.mode, row.report.replayed_blocks, genesis.report.replayed_blocks
+            ));
+        }
+        if row.recover_seconds <= 0.0 || genesis.recover_seconds <= 0.0 {
+            return Err(format!("{}: zero wall-clock", row.mode));
+        }
+    }
+    // The deepest cadence leaves only a thin suffix (≤ 1/8 of the chain).
+    let deepest = rows.last().ok_or("no rows")?;
+    if deepest.report.replayed_blocks * 8 > deepest.report.journal_blocks {
+        return Err(format!(
+            "{}: suffix {} of {} — deepest snapshot too shallow",
+            deepest.mode, deepest.report.replayed_blocks, deepest.report.journal_blocks
+        ));
+    }
+    check_snapshot_schema("BENCH_store.json", json)
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+
+    println!(
+        "# Durable store recovery — {} blocks, BRB activity every round (seed {SEED})\n",
+        ROUNDS as usize * BUILDERS
+    );
+    let (rows, json) = run();
+
+    println!(
+        "| {:>14} | {:>14} | {:>16} | {:>15} | {:>10} | {:>10} |",
+        "mode", "journal blocks", "snapshot covered", "replayed blocks", "recover ms", "vs genesis"
+    );
+    println!("|{}|", "-".repeat(96));
+    let genesis_seconds = rows
+        .iter()
+        .find(|row| row.mode == "genesis")
+        .map(|row| row.recover_seconds)
+        .unwrap_or(f64::NAN);
+    for row in &rows {
+        println!(
+            "| {:>14} | {:>14} | {:>16} | {:>15} | {:>10} | {:>9}x |",
+            row.mode,
+            row.report.journal_blocks,
+            row.report.snapshot_covered,
+            row.report.replayed_blocks,
+            f2(row.recover_seconds * 1000.0),
+            f2(genesis_seconds / row.recover_seconds),
+        );
+    }
+
+    println!(
+        "\nReading: recovery always re-parses the checksummed journal and\n\
+         rebuilds the DAG (integrity is re-verified block by block), but\n\
+         interpretation restarts from the latest persisted snapshot, so\n\
+         the replayed-blocks column shrinks to the post-snapshot suffix\n\
+         while genesis replay pays the whole chain (§7: the DAG is the\n\
+         log; snapshots bound the log's replay cost). The gated floor is\n\
+         the counter ratio — it is what survives any machine. Wall-clock\n\
+         additionally pays to re-checksum the snapshot record and decode\n\
+         it (format v1 writes every retained copy-on-write state version),\n\
+         so it only nets out ahead once per-block interpretation dominates\n\
+         those linear costs — see ROADMAP: snapshot compaction and\n\
+         record-skipping journal reads.\n"
+    );
+
+    // Machine-readable trajectory line (snapshot: BENCH_store.json).
+    println!("{json}");
+
+    if check_mode {
+        match check(&rows, &json) {
+            Ok(()) => println!("CHECK OK"),
+            Err(reason) => {
+                eprintln!("CHECK FAILED: {reason}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -64,13 +64,13 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use dagbft_codec::decode_from_slice;
+use dagbft_codec::{decode_from_slice, DecodeError, Reader, WireDecode, WireEncode};
 use dagbft_crypto::ServerId;
 
 use crate::block::BlockRef;
 use crate::dag::BlockDag;
 use crate::label::Label;
-use crate::protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig};
+use crate::protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig, SnapshotProtocol};
 
 /// An indication `(ℓ, i, s)` raised while interpreting: instance `ℓ` of the
 /// *simulated* server `s` indicated `i` (Algorithm 2, lines 13–14).
@@ -680,6 +680,295 @@ impl<P: DeterministicProtocol> Interpreter<P> {
     /// Removes and returns the indications raised since the last drain.
     pub fn drain_indications(&mut self) -> Vec<Indication<P::Indication>> {
         std::mem::take(&mut self.indications)
+    }
+}
+
+/// Errors decoding a persisted interpreter snapshot.
+///
+/// Corrupt snapshot bytes always map here — decoding never panics; recovery
+/// can fall back to genesis replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot bytes do not decode.
+    Corrupt(DecodeError),
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion(u8),
+    /// The snapshot was taken under a different `(n, f)` configuration.
+    ConfigMismatch {
+        /// `n` recorded in the snapshot.
+        n: u64,
+        /// `f` recorded in the snapshot.
+        f: u64,
+    },
+    /// A cross-reference into one of the snapshot's sharing tables is out
+    /// of range.
+    BadIndex,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Corrupt(err) => write!(f, "corrupt snapshot: {err}"),
+            SnapshotError::UnsupportedVersion(version) => {
+                write!(f, "unsupported snapshot version {version}")
+            }
+            SnapshotError::ConfigMismatch { n, f: faults } => {
+                write!(
+                    f,
+                    "snapshot taken under different config (n={n}, f={faults})"
+                )
+            }
+            SnapshotError::BadIndex => write!(f, "snapshot sharing-table index out of range"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(err: DecodeError) -> Self {
+        SnapshotError::Corrupt(err)
+    }
+}
+
+/// Snapshot format version written by [`Interpreter::encode_snapshot`].
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// Reads a `u64` element count and checks feasibility against the remaining
+/// input (each element needs at least `min_elem_size` bytes), so corrupt
+/// counts can never force a large allocation.
+fn read_count(reader: &mut Reader<'_>, min_elem_size: usize) -> Result<usize, SnapshotError> {
+    let claimed = reader.read_u64()? as usize;
+    let max = reader.remaining() / min_elem_size.max(1);
+    if claimed > max {
+        return Err(SnapshotError::Corrupt(DecodeError::LengthOutOfBounds {
+            claimed,
+            max,
+        }));
+    }
+    Ok(claimed)
+}
+
+impl<P: SnapshotProtocol> Interpreter<P>
+where
+    P::Message: WireEncode + WireDecode,
+{
+    /// Serializes the complete interpretation state — order, counters, and
+    /// every block's state with its copy-on-write structure *preserved*
+    /// (shared maps, instances, and active sets are written once and
+    /// cross-referenced), so a snapshot of a million-block DAG costs what
+    /// is actually resident, not blocks × labels.
+    ///
+    /// Must be called at a fixed point ([`Interpreter::step`] returned and
+    /// [`Interpreter::drain_indications`] was drained): pending eligibility
+    /// bookkeeping and undrained indications are not captured.
+    ///
+    /// The `ins` buffers are deliberately not captured — they are
+    /// introspection-only (see [`Interpreter::compact`]), and a restored
+    /// interpreter behaves like a compacted one.
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        debug_assert!(
+            self.ready.is_empty() && self.waiting.is_empty(),
+            "snapshot requires interpretation at a fixed point"
+        );
+        debug_assert!(
+            self.indications.is_empty(),
+            "drain indications before snapshotting"
+        );
+        let mut out = Vec::new();
+        out.push(SNAPSHOT_VERSION);
+        (self.order.len() as u64).encode(&mut out);
+        (self.config.n as u64).encode(&mut out);
+        (self.config.f as u64).encode(&mut out);
+        for block_ref in &self.order {
+            block_ref.encode(&mut out);
+        }
+        for counter in [
+            self.stats.blocks_interpreted,
+            self.stats.requests_processed,
+            self.stats.malformed_requests,
+            self.stats.messages_materialized,
+            self.stats.messages_delivered,
+            self.stats.indications,
+        ] {
+            counter.encode(&mut out);
+        }
+
+        // Discover the unique allocations in deterministic (interpretation
+        // order, then BTreeMap order) sequence, assigning dense indices.
+        let mut map_index: HashMap<*const BTreeMap<Label, Arc<P>>, u64> = HashMap::new();
+        let mut instance_index: HashMap<*const P, u64> = HashMap::new();
+        let mut active_index: HashMap<*const BTreeSet<Label>, u64> = HashMap::new();
+        let mut instances: Vec<Arc<P>> = Vec::new();
+        let mut maps: Vec<SharedInstances<P>> = Vec::new();
+        let mut actives: Vec<Arc<BTreeSet<Label>>> = Vec::new();
+        use std::collections::hash_map::Entry;
+        for block_ref in &self.order {
+            let state = &self.states[block_ref];
+            if let Entry::Vacant(entry) = map_index.entry(Arc::as_ptr(&state.pis)) {
+                entry.insert(maps.len() as u64);
+                maps.push(Arc::clone(&state.pis));
+                for slot in state.pis.values() {
+                    if let Entry::Vacant(entry) = instance_index.entry(Arc::as_ptr(slot)) {
+                        entry.insert(instances.len() as u64);
+                        instances.push(Arc::clone(slot));
+                    }
+                }
+            }
+            if let Entry::Vacant(entry) = active_index.entry(Arc::as_ptr(&state.active)) {
+                entry.insert(actives.len() as u64);
+                actives.push(Arc::clone(&state.active));
+            }
+        }
+
+        // Table 1: unique instance states, length-prefixed.
+        (instances.len() as u64).encode(&mut out);
+        let mut scratch = Vec::new();
+        for instance in &instances {
+            scratch.clear();
+            instance.encode_state(&mut scratch);
+            (scratch.len() as u64).encode(&mut out);
+            out.extend_from_slice(&scratch);
+        }
+        // Table 2: unique instance maps, as (label, instance index) pairs.
+        (maps.len() as u64).encode(&mut out);
+        for map in &maps {
+            (map.len() as u64).encode(&mut out);
+            for (label, slot) in map.iter() {
+                label.encode(&mut out);
+                instance_index[&Arc::as_ptr(slot)].encode(&mut out);
+            }
+        }
+        // Table 3: unique active label sets.
+        (actives.len() as u64).encode(&mut out);
+        for active in &actives {
+            (active.len() as u64).encode(&mut out);
+            for label in active.iter() {
+                label.encode(&mut out);
+            }
+        }
+        // Per block, in interpretation order: table cross-references and
+        // the (per-block by nature) out-buffers.
+        for block_ref in &self.order {
+            let state = &self.states[block_ref];
+            map_index[&Arc::as_ptr(&state.pis)].encode(&mut out);
+            active_index[&Arc::as_ptr(&state.active)].encode(&mut out);
+            state.outs.encode(&mut out);
+        }
+        out
+    }
+
+    /// Rebuilds an interpreter from [`Interpreter::encode_snapshot`] bytes,
+    /// restoring the copy-on-write sharing structure (shared allocations
+    /// come back shared).
+    ///
+    /// The restored interpreter has scanned exactly the first
+    /// `interpreted_count()` blocks of the DAG's insertion order — feed it
+    /// the same, grown DAG and [`Interpreter::step`] replays only the
+    /// suffix. The caller must verify the covered prefix matches
+    /// (see `Shim::recover_from_store_with_snapshots`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]; corrupt input never panics.
+    pub fn decode_snapshot(config: ProtocolConfig, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut reader = Reader::new(bytes);
+        let version = reader.read_u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let covered = read_count(&mut reader, 32)?;
+        let n = reader.read_u64()?;
+        let f = reader.read_u64()?;
+        if n != config.n as u64 || f != config.f as u64 {
+            return Err(SnapshotError::ConfigMismatch { n, f });
+        }
+        let mut order = Vec::with_capacity(covered);
+        for _ in 0..covered {
+            order.push(BlockRef::decode(&mut reader)?);
+        }
+        let stats = InterpretStats {
+            blocks_interpreted: reader.read_u64()?,
+            requests_processed: reader.read_u64()?,
+            malformed_requests: reader.read_u64()?,
+            messages_materialized: reader.read_u64()?,
+            messages_delivered: reader.read_u64()?,
+            indications: reader.read_u64()?,
+        };
+
+        let instance_count = read_count(&mut reader, 8)?;
+        let mut instances: Vec<Arc<P>> = Vec::with_capacity(instance_count);
+        for _ in 0..instance_count {
+            let len = reader.read_u64()? as usize;
+            let slice = reader.take(len)?;
+            let mut sub = Reader::new(slice);
+            let instance = P::decode_state(&mut sub)?;
+            if sub.remaining() != 0 {
+                return Err(SnapshotError::Corrupt(DecodeError::TrailingBytes {
+                    remaining: sub.remaining(),
+                }));
+            }
+            instances.push(Arc::new(instance));
+        }
+        let map_count = read_count(&mut reader, 8)?;
+        let mut maps: Vec<SharedInstances<P>> = Vec::with_capacity(map_count);
+        for _ in 0..map_count {
+            let entries = read_count(&mut reader, 16)?;
+            let mut map = BTreeMap::new();
+            for _ in 0..entries {
+                let label = Label::decode(&mut reader)?;
+                let idx = reader.read_u64()? as usize;
+                let slot = instances.get(idx).ok_or(SnapshotError::BadIndex)?;
+                map.insert(label, Arc::clone(slot));
+            }
+            maps.push(Arc::new(map));
+        }
+        let active_count = read_count(&mut reader, 8)?;
+        let mut actives: Vec<Arc<BTreeSet<Label>>> = Vec::with_capacity(active_count);
+        for _ in 0..active_count {
+            let labels = read_count(&mut reader, 8)?;
+            let mut set = BTreeSet::new();
+            for _ in 0..labels {
+                set.insert(Label::decode(&mut reader)?);
+            }
+            actives.push(Arc::new(set));
+        }
+
+        let mut states: HashMap<BlockRef, BlockState<P>> = HashMap::with_capacity(covered);
+        for block_ref in &order {
+            let map_idx = reader.read_u64()? as usize;
+            let active_idx = reader.read_u64()? as usize;
+            let outs: BTreeMap<Label, BTreeSet<Envelope<P::Message>>> =
+                WireDecode::decode(&mut reader)?;
+            states.insert(
+                *block_ref,
+                BlockState {
+                    pis: Arc::clone(maps.get(map_idx).ok_or(SnapshotError::BadIndex)?),
+                    outs,
+                    ins: BTreeMap::new(),
+                    active: Arc::clone(actives.get(active_idx).ok_or(SnapshotError::BadIndex)?),
+                },
+            );
+        }
+        if reader.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(DecodeError::TrailingBytes {
+                remaining: reader.remaining(),
+            }));
+        }
+        let compacted = order.len();
+        let scanned = order.len();
+        Ok(Interpreter {
+            config,
+            states,
+            order,
+            indications: Vec::new(),
+            stats,
+            compacted,
+            scanned,
+            waiting: HashMap::new(),
+            dependents: HashMap::new(),
+            ready: std::collections::VecDeque::new(),
+        })
     }
 }
 

@@ -68,6 +68,7 @@ pub mod protocol;
 pub mod recovery;
 pub mod reference;
 pub mod shim;
+pub mod store;
 
 pub use accountability::EquivocationProof;
 pub use block::{Block, BlockRef, LabeledRequest, SeqNum};
@@ -77,12 +78,13 @@ pub use gossip::{
     AdmissionMode, EvictionEvent, Gossip, GossipConfig, GossipStats, NetCommand, NetMessage,
     WaveStats, DEFAULT_PENDING_CAP, WAVE_WIDTH_BUCKETS,
 };
-pub use interpret::{Indication, InterpretStats, Interpreter, InterpreterFootprint};
+pub use interpret::{Indication, InterpretStats, Interpreter, InterpreterFootprint, SnapshotError};
 pub use label::Label;
-pub use protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig};
+pub use protocol::{DeterministicProtocol, Envelope, Outbox, ProtocolConfig, SnapshotProtocol};
 pub use recovery::{persist_dag, restore_dag};
 pub use reference::ReferenceInterpreter;
-pub use shim::{Shim, ShimConfig};
+pub use shim::{SetupError, Shim, ShimConfig};
+pub use store::{BlockStore, MemoryStore, RecoverError, RecoveryReport, StoreContents, StoreError};
 
 /// Simulation / wall-clock time in milliseconds.
 ///

@@ -17,7 +17,7 @@
 
 use std::fmt::Debug;
 
-use dagbft_codec::{WireDecode, WireEncode};
+use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
 use dagbft_crypto::ServerId;
 
 use crate::Label;
@@ -84,6 +84,24 @@ pub struct Envelope<M> {
     pub receiver: ServerId,
     /// The protocol-level message body.
     pub message: M,
+}
+
+impl<M: WireEncode> WireEncode for Envelope<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sender.encode(out);
+        self.receiver.encode(out);
+        self.message.encode(out);
+    }
+}
+
+impl<M: WireDecode> WireDecode for Envelope<M> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Envelope {
+            sender: ServerId::decode(reader)?,
+            receiver: ServerId::decode(reader)?,
+            message: M::decode(reader)?,
+        })
+    }
 }
 
 /// Collector for the messages a protocol handler emits.
@@ -219,6 +237,37 @@ pub trait DeterministicProtocol: Clone {
     /// (Algorithm 2, lines 13–14). Draining must be destructive so an
     /// indication is raised exactly once per occurrence.
     fn drain_indications(&mut self) -> Vec<Self::Indication>;
+}
+
+/// A [`DeterministicProtocol`] whose process-instance state can be
+/// serialized into interpreter snapshots.
+///
+/// The interpreter persists periodic state snapshots through a
+/// [`crate::store::BlockStore`] so crash recovery replays only the block
+/// suffix past the last snapshot instead of from genesis. The encoding
+/// must be **self-contained and canonical**: `decode_state` applied to
+/// `encode_state`'s output must reproduce an observationally identical
+/// instance (including its [`ProtocolConfig`] and [`Label`], if behaviour
+/// depends on them), and identical instances must encode to identical
+/// bytes — snapshots feed determinism fingerprints.
+///
+/// Messages additionally need wire bounds because a snapshot persists the
+/// materialized out-message sets of every interpreted block.
+pub trait SnapshotProtocol: DeterministicProtocol
+where
+    Self::Message: WireEncode + WireDecode,
+{
+    /// Appends this instance's complete state to `out`.
+    fn encode_state(&self, out: &mut Vec<u8>);
+
+    /// Rebuilds an instance from bytes produced by
+    /// [`SnapshotProtocol::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed or truncated input; implementations
+    /// must not panic.
+    fn decode_state(reader: &mut Reader<'_>) -> Result<Self, DecodeError>;
 }
 
 #[cfg(test)]

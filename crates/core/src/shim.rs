@@ -23,18 +23,19 @@
 //! (Lemma 4.2), so scheduling cannot change any outcome — only *when* it
 //! becomes observable.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
 use dagbft_crypto::{KeyRegistry, ServerId};
 
-use crate::block::LabeledRequest;
+use crate::block::{BlockRef, LabeledRequest, SeqNum};
 use crate::dag::BlockDag;
 use crate::gossip::{AdmissionMode, Gossip, GossipConfig, NetCommand, NetMessage};
 use crate::interpret::{Indication, Interpreter, InterpreterFootprint};
 use crate::label::Label;
-use crate::protocol::{DeterministicProtocol, ProtocolConfig};
+use crate::protocol::{DeterministicProtocol, ProtocolConfig, SnapshotProtocol};
+use crate::store::{BlockStore, RecoverError, RecoveryReport, StoreContents, StoreError};
 use crate::TimeMs;
 
 /// Configuration for a [`Shim`] server.
@@ -131,6 +132,27 @@ impl fmt::Display for SetupError {
 
 impl Error for SetupError {}
 
+/// Encodes an interpreter into snapshot bytes — a plain function pointer
+/// so [`StoreBinding`] stays protocol-generic without extra bounds.
+type SnapshotEncodeFn<P> = fn(&Interpreter<P>) -> Vec<u8>;
+
+/// An attached [`BlockStore`] plus the shim's bookkeeping around it:
+/// how much of the DAG's insertion order has been journaled, and the
+/// snapshot cadence (installed by [`Shim::enable_snapshots`]).
+#[derive(Debug)]
+struct StoreBinding<P: DeterministicProtocol> {
+    store: Box<dyn BlockStore>,
+    /// Prefix of the DAG's insertion order already appended to the store.
+    synced_blocks: usize,
+    /// Snapshot cadence in blocks; 0 disables snapshots.
+    snapshot_every: u64,
+    /// Interpreted-block count at the last snapshot.
+    last_snapshot_at: u64,
+    /// Encodes the interpreter into snapshot bytes; present only when the
+    /// protocol supports snapshots and they were enabled.
+    encode: Option<SnapshotEncodeFn<P>>,
+}
+
 /// A complete block DAG server: `shim(P)` running as one member of `Srvrs`.
 ///
 /// Drive it by delivering network messages ([`Shim::on_message`]), ticking
@@ -152,6 +174,13 @@ pub struct Shim<P: DeterministicProtocol> {
     /// to the user (Algorithm 3 line 8 requires `s' = s`), but observable
     /// for auditing and tests.
     observed: Vec<Indication<P::Indication>>,
+    /// Durable storage, when attached: every admitted block, buffered
+    /// request, and periodic snapshot is journaled through it.
+    store: Option<StoreBinding<P>>,
+    /// A store write failure detaches the store (the server keeps running
+    /// non-durably — storage must never panic or wedge consensus) and
+    /// stashes the error here for the operator.
+    store_error: Option<StoreError>,
 }
 
 impl<P: DeterministicProtocol> Shim<P> {
@@ -176,6 +205,8 @@ impl<P: DeterministicProtocol> Shim<P> {
             rqsts: VecDeque::new(),
             delivered: VecDeque::new(),
             observed: Vec::new(),
+            store: None,
+            store_error: None,
         })
     }
 
@@ -216,6 +247,8 @@ impl<P: DeterministicProtocol> Shim<P> {
             rqsts: VecDeque::new(),
             delivered: VecDeque::new(),
             observed: Vec::new(),
+            store: None,
+            store_error: None,
         };
         shim.run_interpretation();
         Ok(shim)
@@ -262,9 +295,25 @@ impl<P: DeterministicProtocol> Shim<P> {
 
     /// `request(ℓ, r)`: buffer a user request for instance `ℓ`
     /// (Algorithm 3, lines 6–7).
+    ///
+    /// With a store attached, the request is also journaled (write-ahead):
+    /// recovery re-buffers every journaled request not yet sealed into an
+    /// own block, so accepted-but-unsealed requests survive a crash.
     pub fn request(&mut self, label: Label, request: P::Request) {
-        self.rqsts
-            .push_back(LabeledRequest::encode(label, &request));
+        let labeled = LabeledRequest::encode(label, &request);
+        if self.store.is_some() {
+            let result = self
+                .store
+                .as_mut()
+                .expect("checked above")
+                .store
+                .append_request(&labeled);
+            if let Err(err) = result {
+                self.store = None;
+                self.store_error = Some(err);
+            }
+        }
+        self.rqsts.push_back(labeled);
     }
 
     /// Number of buffered requests not yet written into a block.
@@ -322,12 +371,37 @@ impl<P: DeterministicProtocol> Shim<P> {
     /// Requests `gossip.disseminate()` (Algorithm 3, lines 10–11): seals
     /// the current block with up to
     /// [`ShimConfig::max_requests_per_block`] buffered requests.
+    ///
+    /// With a store attached, the sealed block is journaled, the journal
+    /// synced, and the own-tip marker durably advanced *before* the
+    /// broadcast commands are returned — so a crash can never lose an own
+    /// block that other servers may already hold (the §7 equivocation
+    /// caveat; see [`crate::store::RecoverError::OwnChainTruncated`]).
     pub fn disseminate(&mut self, now: TimeMs) -> Vec<NetCommand> {
         let take = self.rqsts.len().min(self.config.max_requests_per_block);
         let requests: Vec<LabeledRequest> = self.rqsts.drain(..take).collect();
-        let (_block, commands) = self.gossip.disseminate(requests, now);
+        let (block, commands) = self.gossip.disseminate(requests, now);
+        let sealed = block.seq();
         self.run_interpretation();
+        if self.store.is_some() {
+            if let Err(err) = self.seal_durable(sealed) {
+                self.store = None;
+                self.store_error = Some(err);
+            }
+        }
         commands
+    }
+
+    /// Journal sync first, then the own-tip marker: the marker must never
+    /// get ahead of a durable journal, or recovery would refuse to resume
+    /// after a crash that lost nothing observable.
+    fn seal_durable(&mut self, seq: SeqNum) -> Result<(), StoreError> {
+        let Some(binding) = self.store.as_mut() else {
+            return Ok(());
+        };
+        binding.store.sync()?;
+        binding.store.mark_own_tip(seq)?;
+        Ok(())
     }
 
     /// Returns indications raised for this server since the last poll
@@ -352,6 +426,261 @@ impl<P: DeterministicProtocol> Shim<P> {
                 self.observed.push(indication);
             }
         }
+        if self.store.is_some() {
+            if let Err(err) = self.try_sync_store() {
+                self.store = None;
+                self.store_error = Some(err);
+            }
+        }
+    }
+
+    /// Appends DAG blocks admitted since the last sync to the store, and
+    /// takes a snapshot when the cadence is due. Interpretation runs to a
+    /// fixed point before this is called, so a due snapshot always
+    /// captures a fully-interpreted DAG.
+    fn try_sync_store(&mut self) -> Result<(), StoreError> {
+        let Some(binding) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let dag = self.gossip.dag();
+        let new: Vec<BlockRef> = dag.refs().skip(binding.synced_blocks).copied().collect();
+        for block_ref in new {
+            let block = dag.get(&block_ref).expect("ref comes from the dag");
+            binding.store.append_block(block)?;
+            binding.synced_blocks += 1;
+        }
+        if let Some(encode) = binding.encode {
+            let covered = self.interpreter.interpreted_count() as u64;
+            if binding.snapshot_every > 0
+                && covered.saturating_sub(binding.last_snapshot_at) >= binding.snapshot_every
+            {
+                let payload = encode(&self.interpreter);
+                binding.store.append_snapshot(covered, &payload)?;
+                binding.last_snapshot_at = covered;
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches a durable store. Every block already in the DAG beyond the
+    /// store's current content is journaled immediately; from then on the
+    /// shim appends admitted blocks, buffered requests, and (if enabled
+    /// via [`Shim::enable_snapshots`]) periodic snapshots.
+    ///
+    /// The store's existing blocks must be a prefix of this shim's DAG
+    /// insertion order (trivially true for an empty store, and guaranteed
+    /// by [`Shim::recover_from_store`] when re-attaching after recovery).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] reading the store's current content or writing
+    /// the backlog; the store is not attached on error.
+    pub fn attach_store(&mut self, store: Box<dyn BlockStore>) -> Result<(), StoreError> {
+        let already = store.contents()?.blocks.len();
+        self.attach_store_synced(store, already);
+        if let Err(err) = self.try_sync_store() {
+            self.store = None;
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Attaches `store` asserting its first `synced_blocks` journal blocks
+    /// already mirror the DAG prefix (the recovery re-attach path, which
+    /// just rebuilt the DAG *from* that journal).
+    fn attach_store_synced(&mut self, store: Box<dyn BlockStore>, synced_blocks: usize) {
+        self.store = Some(StoreBinding {
+            store,
+            synced_blocks,
+            snapshot_every: 0,
+            last_snapshot_at: 0,
+            encode: None,
+        });
+    }
+
+    /// Detaches and returns the store, if one is attached. The shim keeps
+    /// running non-durably.
+    pub fn detach_store(&mut self) -> Option<Box<dyn BlockStore>> {
+        self.store.take().map(|binding| binding.store)
+    }
+
+    /// Whether a store is currently attached.
+    pub fn store_attached(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The error that detached the store, if a write ever failed.
+    pub fn store_error(&self) -> Option<&StoreError> {
+        self.store_error.as_ref()
+    }
+
+    /// Recovers a server from its durable store, replaying the whole
+    /// journal from genesis (any persisted snapshot is ignored — this is
+    /// the oracle path; see
+    /// [`Shim::recover_from_store_with_snapshots`] for snapshot catch-up).
+    ///
+    /// The journal's blocks are re-inserted in admission order (a
+    /// topological order by construction), gossip resumes the own chain
+    /// ([`Gossip::resume`]), interpretation replays (pure function of the
+    /// DAG, Lemma 4.2), journaled-but-unsealed requests are re-buffered,
+    /// and the store is re-attached so journaling continues seamlessly.
+    ///
+    /// Indications raised by the replay are delivered again, exactly like
+    /// [`Shim::recover`]; callers that must not re-deliver (the simulator's
+    /// crash scenarios) discard the first poll.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RecoverError`]; in particular
+    /// [`RecoverError::OwnChainTruncated`] if the journal lost own blocks
+    /// below the durable own-tip marker — resuming would equivocate (§7).
+    pub fn recover_from_store(
+        me: ServerId,
+        config: ShimConfig,
+        registry: &KeyRegistry,
+        store: Box<dyn BlockStore>,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let contents = store.contents()?;
+        Self::recover_with_interpreter(
+            me,
+            config,
+            registry,
+            store,
+            contents,
+            Interpreter::new(config.protocol),
+        )
+    }
+
+    /// Shared recovery tail: rebuild the DAG, enforce the own-tip guard,
+    /// resume gossip, replay the suffix the interpreter has not covered,
+    /// re-buffer unsealed requests, and re-attach the store.
+    fn recover_with_interpreter(
+        me: ServerId,
+        config: ShimConfig,
+        registry: &KeyRegistry,
+        store: Box<dyn BlockStore>,
+        contents: StoreContents,
+        interpreter: Interpreter<P>,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let signer = registry
+            .signer(me)
+            .ok_or(SetupError::UnknownServer { server: me })?;
+        let mut dag = BlockDag::new();
+        for block in &contents.blocks {
+            let block_ref = block.block_ref();
+            if dag.insert(block.clone()).is_err() {
+                return Err(RecoverError::BrokenTopology { block: block_ref });
+            }
+        }
+        if let Some(marker) = contents.own_tip {
+            let journal = dag.height_of(me);
+            if journal.is_none_or(|height| height < marker) {
+                return Err(RecoverError::OwnChainTruncated { journal, marker });
+            }
+        }
+        let snapshot_covered = interpreter.interpreted_count();
+        let consumed: usize = contents
+            .blocks
+            .iter()
+            .filter(|block| block.builder() == me)
+            .map(|block| block.requests().len())
+            .sum();
+        let rqsts: VecDeque<LabeledRequest> = contents
+            .requests
+            .get(consumed..)
+            .unwrap_or_default()
+            .iter()
+            .cloned()
+            .collect();
+        let report = RecoveryReport {
+            journal_blocks: contents.blocks.len(),
+            replayed_blocks: contents.blocks.len() - snapshot_covered,
+            snapshot_covered,
+            requests_rebuffered: rqsts.len(),
+            truncated_records: contents.truncated_records,
+        };
+        let mut shim = Shim {
+            me,
+            config,
+            gossip: Gossip::resume(me, config.gossip(), signer, registry.verifier(), dag),
+            interpreter,
+            rqsts,
+            delivered: VecDeque::new(),
+            observed: Vec::new(),
+            store: None,
+            store_error: None,
+        };
+        shim.run_interpretation();
+        shim.attach_store_synced(store, contents.blocks.len());
+        Ok((shim, report))
+    }
+}
+
+impl<P: SnapshotProtocol> Shim<P>
+where
+    P::Message: dagbft_codec::WireEncode + dagbft_codec::WireDecode,
+{
+    /// Enables periodic interpreter snapshots through the attached store:
+    /// one snapshot every `every` interpreted blocks, so recovery via
+    /// [`Shim::recover_from_store_with_snapshots`] replays only the suffix
+    /// past the last snapshot. No-op without an attached store.
+    pub fn enable_snapshots(&mut self, every: u64) {
+        let covered = self.interpreter.interpreted_count() as u64;
+        if let Some(binding) = self.store.as_mut() {
+            binding.snapshot_every = every.max(1);
+            binding.last_snapshot_at = covered;
+            binding.encode = Some(|interpreter| interpreter.encode_snapshot());
+        }
+    }
+
+    /// Recovers a server from its durable store, restoring interpreter
+    /// state from the latest persisted snapshot (if any) and replaying
+    /// only the journal suffix past it — the snapshot catch-up path.
+    ///
+    /// The snapshot is validated before use: its version, `(n, f)`
+    /// configuration, and covered block set must match the journal prefix
+    /// exactly, otherwise a typed error is returned (never a divergent
+    /// state). All other semantics match [`Shim::recover_from_store`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RecoverError`].
+    pub fn recover_from_store_with_snapshots(
+        me: ServerId,
+        config: ShimConfig,
+        registry: &KeyRegistry,
+        store: Box<dyn BlockStore>,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let contents = store.contents()?;
+        let interpreter = match &contents.snapshot {
+            Some((covered, payload)) => {
+                let covered = *covered as usize;
+                if covered > contents.blocks.len() {
+                    return Err(RecoverError::SnapshotDiverged {
+                        covered: covered as u64,
+                    });
+                }
+                let interpreter = Interpreter::decode_snapshot(config.protocol, payload)?;
+                let prefix: HashSet<BlockRef> = contents.blocks[..covered]
+                    .iter()
+                    .map(|block| block.block_ref())
+                    .collect();
+                let matches = interpreter.interpreted_count() == covered
+                    && prefix.len() == covered
+                    && interpreter
+                        .interpreted_order()
+                        .iter()
+                        .all(|block_ref| prefix.contains(block_ref));
+                if !matches {
+                    return Err(RecoverError::SnapshotDiverged {
+                        covered: covered as u64,
+                    });
+                }
+                interpreter
+            }
+            None => Interpreter::new(config.protocol),
+        };
+        Self::recover_with_interpreter(me, config, registry, store, contents, interpreter)
     }
 }
 

@@ -24,7 +24,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dagbft_codec::{DecodeError, Reader, WireDecode, WireEncode};
-use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig};
+use dagbft_core::{DeterministicProtocol, Label, Outbox, ProtocolConfig, SnapshotProtocol};
 use dagbft_crypto::ServerId;
 
 use crate::value::Value;
@@ -73,6 +73,26 @@ pub enum BrbMessage<V> {
 pub enum BrbIndication<V> {
     /// `deliver(v)`.
     Deliver(V),
+}
+
+impl<V: WireEncode> WireEncode for BrbIndication<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let BrbIndication::Deliver(value) = self;
+        out.push(0);
+        value.encode(out);
+    }
+}
+
+impl<V: WireDecode> WireDecode for BrbIndication<V> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match reader.read_u8()? {
+            0 => Ok(BrbIndication::Deliver(V::decode(reader)?)),
+            value => Err(DecodeError::InvalidDiscriminant {
+                type_name: "BrbIndication",
+                value,
+            }),
+        }
+    }
 }
 
 /// One process instance of byzantine reliable broadcast (Algorithm 4).
@@ -206,6 +226,80 @@ impl<V: Value> DeterministicProtocol for Brb<V> {
 
     fn drain_indications(&mut self) -> Vec<Self::Indication> {
         std::mem::take(&mut self.pending)
+    }
+}
+
+impl<V: Value> SnapshotProtocol for Brb<V> {
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        (self.config.n as u64).encode(out);
+        (self.config.f as u64).encode(out);
+        out.push(u8::from(self.echoed));
+        out.push(u8::from(self.readied));
+        out.push(u8::from(self.delivered));
+        for tally in [&self.echoes, &self.readies] {
+            (tally.len() as u32).encode(out);
+            for (value, senders) in tally {
+                value.encode(out);
+                (senders.len() as u32).encode(out);
+                for sender in senders {
+                    sender.encode(out);
+                }
+            }
+        }
+        (self.pending.len() as u32).encode(out);
+        for indication in &self.pending {
+            indication.encode(out);
+        }
+    }
+
+    fn decode_state(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = u64::decode(reader)? as usize;
+        let f = u64::decode(reader)? as usize;
+        let config = ProtocolConfig { n, f };
+        let mut flags = [false; 3];
+        for flag in &mut flags {
+            *flag = match reader.read_u8()? {
+                0 => false,
+                1 => true,
+                value => {
+                    return Err(DecodeError::InvalidDiscriminant {
+                        type_name: "Brb flag",
+                        value,
+                    })
+                }
+            };
+        }
+        let mut tallies: Vec<BTreeMap<V, BTreeSet<ServerId>>> = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let entries = reader.read_len(2)?;
+            let mut tally = BTreeMap::new();
+            for _ in 0..entries {
+                let value = V::decode(reader)?;
+                let count = reader.read_len(4)?;
+                let mut senders = BTreeSet::new();
+                for _ in 0..count {
+                    senders.insert(ServerId::decode(reader)?);
+                }
+                tally.insert(value, senders);
+            }
+            tallies.push(tally);
+        }
+        let readies = tallies.pop().expect("two tallies");
+        let echoes = tallies.pop().expect("two tallies");
+        let pending_count = reader.read_len(2)?;
+        let mut pending = Vec::with_capacity(pending_count);
+        for _ in 0..pending_count {
+            pending.push(BrbIndication::decode(reader)?);
+        }
+        Ok(Brb {
+            config,
+            echoed: flags[0],
+            readied: flags[1],
+            delivered: flags[2],
+            echoes,
+            readies,
+            pending,
+        })
     }
 }
 
@@ -405,6 +499,43 @@ mod tests {
         let bytes = dagbft_codec::encode_to_vec(&request);
         let decoded: BrbRequest<u64> = dagbft_codec::decode_from_slice(&bytes).unwrap();
         assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn snapshot_state_roundtrip_is_canonical() {
+        let config = ProtocolConfig::for_n(4);
+        let mut instance: Brb<u64> = Brb::new(&config, Label::new(1), ServerId::new(0));
+        let mut outbox = Outbox::new();
+        instance.on_message(ServerId::new(1), BrbMessage::Echo(9), &mut outbox);
+        instance.on_message(ServerId::new(2), BrbMessage::Ready(9), &mut outbox);
+        instance.on_message(ServerId::new(3), BrbMessage::Ready(9), &mut outbox);
+
+        let mut bytes = Vec::new();
+        instance.encode_state(&mut bytes);
+        let mut reader = Reader::new(&bytes);
+        let decoded = Brb::<u64>::decode_state(&mut reader).unwrap();
+        assert_eq!(reader.remaining(), 0, "snapshot must be self-delimiting");
+
+        // Canonical: identical state re-encodes to identical bytes.
+        let mut reencoded = Vec::new();
+        decoded.encode_state(&mut reencoded);
+        assert_eq!(reencoded, bytes);
+
+        // Observationally identical.
+        assert_eq!(decoded.echoed(), instance.echoed());
+        assert_eq!(decoded.readied(), instance.readied());
+        assert_eq!(decoded.delivered(), instance.delivered());
+        assert_eq!(decoded.echo_count(&9), instance.echo_count(&9));
+        assert_eq!(decoded.ready_count(&9), instance.ready_count(&9));
+    }
+
+    #[test]
+    fn snapshot_decode_never_panics_on_garbage() {
+        for len in 0..64usize {
+            let bytes = vec![0xFFu8; len];
+            let mut reader = Reader::new(&bytes);
+            let _ = Brb::<u64>::decode_state(&mut reader);
+        }
     }
 
     #[test]

@@ -10,9 +10,10 @@
 
 use std::collections::HashMap;
 
+use dagbft_codec::{WireDecode, WireEncode};
 use dagbft_core::{
-    AdmissionMode, DeterministicProtocol, Label, NetCommand, NetMessage, ProtocolConfig, Shim,
-    ShimConfig, TimeMs,
+    AdmissionMode, BlockStore, DeterministicProtocol, Label, NetCommand, NetMessage,
+    ProtocolConfig, RecoverError, RecoveryReport, Shim, ShimConfig, SnapshotProtocol, TimeMs,
 };
 use dagbft_crypto::{KeyRegistry, SchemeKind, ServerId};
 use rand::rngs::StdRng;
@@ -231,6 +232,9 @@ pub struct SimOutcome<P: DeterministicProtocol> {
     pub finished_at: TimeMs,
     /// Injection times by label (first injection wins), for latency math.
     pub injected_at: HashMap<Label, TimeMs>,
+    /// Durable crash–recoveries performed during the run, in time order:
+    /// `(at, server, report)`.
+    pub recoveries: Vec<(TimeMs, ServerId, RecoveryReport)>,
     /// The servers, for post-run inspection (DAGs, interpreter stats).
     servers: Vec<ServerView<P>>,
 }
@@ -311,8 +315,25 @@ impl<P: DeterministicProtocol> SimOutcome<P> {
     }
 }
 
+/// How a server is rebuilt from its detached [`BlockStore`] after a
+/// durable crash. A plain `fn` pointer so [`Simulation`] itself needs no
+/// snapshot bounds: the bounded builder methods instantiate it with
+/// [`Shim::recover_from_store`] or
+/// [`Shim::recover_from_store_with_snapshots`].
+type RecoverFn<P> = fn(
+    ServerId,
+    ShimConfig,
+    &KeyRegistry,
+    Box<dyn BlockStore>,
+) -> Result<(Shim<P>, RecoveryReport), RecoverError>;
+
 enum Event<P: DeterministicProtocol> {
     Rejoin {
+        server: usize,
+    },
+    /// Crash-at-instant with same-instant restart from the durable store
+    /// attached via [`Simulation::with_durable_store`].
+    DurableCrash {
         server: usize,
     },
     Deliver {
@@ -343,6 +364,13 @@ pub struct Simulation<P: DeterministicProtocol> {
     net: NetMetrics,
     deliveries: Vec<Delivery<P::Indication>>,
     injected_at: HashMap<Label, TimeMs>,
+    recover_hook: Option<RecoverFn<P>>,
+    /// Snapshot cadence to re-enable on recovered shims, with the
+    /// fn-pointer that applies it (set by
+    /// [`Simulation::with_durable_snapshots`]).
+    snapshot_every: Option<u64>,
+    snapshot_install: Option<fn(&mut Shim<P>, u64)>,
+    recoveries: Vec<(TimeMs, ServerId, RecoveryReport)>,
 }
 
 impl<P: DeterministicProtocol> Simulation<P> {
@@ -401,8 +429,44 @@ impl<P: DeterministicProtocol> Simulation<P> {
             net: NetMetrics::default(),
             deliveries: Vec::new(),
             injected_at: HashMap::new(),
+            recover_hook: None,
+            snapshot_every: None,
+            snapshot_install: None,
+            recoveries: Vec::new(),
             config,
         }
+    }
+
+    /// Attaches a durable [`BlockStore`] to `server` and schedules a
+    /// crash-at-instant at `crash_at`: at that moment the server's entire
+    /// volatile state is dropped and it is rebuilt purely from the store
+    /// (same-instant restart). The shim journals every admitted block and
+    /// buffered request from now on.
+    ///
+    /// Recovery replays the journal from genesis unless
+    /// [`Simulation::with_durable_snapshots`] is also configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is not a correct server, or if attaching the
+    /// store fails.
+    pub fn with_durable_store(
+        mut self,
+        server: usize,
+        store: Box<dyn BlockStore>,
+        crash_at: TimeMs,
+    ) -> Self {
+        let Server::Correct(shim) = &mut self.servers[server] else {
+            panic!("server {server} is not correct");
+        };
+        shim.attach_store(store).expect("durable store attaches");
+        self.recover_hook
+            .get_or_insert(Shim::recover_from_store as RecoverFn<P>);
+        // `schedule_first`, like injections: the crash must precede any
+        // same-instant delivery so the restarted server sees it fresh.
+        self.queue
+            .schedule_first(crash_at, Event::DurableCrash { server });
+        self
     }
 
     /// Schedules a request injection.
@@ -458,6 +522,7 @@ impl<P: DeterministicProtocol> Simulation<P> {
             wave_stats,
             finished_at,
             injected_at: self.injected_at,
+            recoveries: self.recoveries,
             servers: self
                 .servers
                 .into_iter()
@@ -474,6 +539,9 @@ impl<P: DeterministicProtocol> Simulation<P> {
         match event {
             Event::Rejoin { server } => {
                 self.rejoin(server, now);
+            }
+            Event::DurableCrash { server } => {
+                self.durable_crash(server, now);
             }
             Event::Inject(injection) => {
                 self.crash_if_due(injection.server, now);
@@ -612,6 +680,44 @@ impl<P: DeterministicProtocol> Simulation<P> {
         self.queue.schedule(now + 1, Event::Tick { server });
     }
 
+    /// Crash-at-instant with same-instant restart from the durable store:
+    /// the old shim (DAG, interpreter, buffered requests, pending gossip)
+    /// is dropped wholesale and the server rebuilt purely from what the
+    /// store reads back. Indications re-raised by the replay are discarded
+    /// — the modeled application persisted its own progress. The server
+    /// slot never leaves `Correct`, so its dissemination and tick timers
+    /// keep their schedule across the crash.
+    fn durable_crash(&mut self, server: usize, now: TimeMs) {
+        let Server::Correct(shim) = &mut self.servers[server] else {
+            return;
+        };
+        let Some(store) = shim.detach_store() else {
+            return;
+        };
+        let hook = self
+            .recover_hook
+            .expect("durable crash scheduled with a recovery hook");
+        let shim_config = ShimConfig::new(self.config.protocol)
+            .with_max_requests_per_block(self.config.max_requests_per_block)
+            .with_admission(self.config.admission)
+            .with_pending_cap(self.config.pending_cap);
+        let (mut recovered, report) = hook(
+            ServerId::new(server as u32),
+            shim_config,
+            &self.registry,
+            store,
+        )
+        .expect("recovery from durable store succeeds");
+        let _ = recovered.poll_indications();
+        let _ = recovered.drain_observed();
+        if let (Some(every), Some(install)) = (self.snapshot_every, self.snapshot_install) {
+            install(&mut recovered, every);
+        }
+        self.servers[server] = Server::Correct(Box::new(recovered));
+        self.recoveries
+            .push((now, ServerId::new(server as u32), report));
+    }
+
     fn route_commands(&mut self, origin: usize, commands: Vec<NetCommand>, now: TimeMs) {
         for command in commands {
             match command {
@@ -663,6 +769,31 @@ impl<P: DeterministicProtocol> Simulation<P> {
                 });
             }
         }
+    }
+}
+
+impl<P> Simulation<P>
+where
+    P: SnapshotProtocol,
+    P::Message: WireEncode + WireDecode,
+{
+    /// Enables periodic interpreter snapshots (one every `every`
+    /// interpreted blocks) on every correct server with an attached store,
+    /// and switches durable-crash recovery to the snapshot catch-up path:
+    /// the restarted server restores interpreter state from the latest
+    /// snapshot and replays only the journal suffix past it.
+    ///
+    /// Call after [`Simulation::with_durable_store`].
+    pub fn with_durable_snapshots(mut self, every: u64) -> Self {
+        for server in &mut self.servers {
+            if let Server::Correct(shim) = server {
+                shim.enable_snapshots(every);
+            }
+        }
+        self.snapshot_every = Some(every);
+        self.snapshot_install = Some(|shim: &mut Shim<P>, every: u64| shim.enable_snapshots(every));
+        self.recover_hook = Some(Shim::recover_from_store_with_snapshots as RecoverFn<P>);
+        self
     }
 }
 
@@ -1019,6 +1150,64 @@ mod tests {
             assert!(outcome.shim(index).dag().check_invariants());
             assert!(outcome.shim(index).gossip().pending_len() <= 8);
         }
+    }
+
+    #[test]
+    fn durable_crash_replays_journal_and_keeps_delivering() {
+        let config = SimConfig::new(4).with_max_time(2_000);
+        let mut sim: Simulation<Brb<u64>> = Simulation::new(config).with_durable_store(
+            1,
+            Box::new(dagbft_core::MemoryStore::new()),
+            250,
+        );
+        sim.inject(broadcast_injection(0, 0, 1, 42));
+        let outcome = sim.run();
+        assert_eq!(outcome.recoveries.len(), 1);
+        let (at, server, report) = outcome.recoveries[0];
+        assert_eq!(at, 250);
+        assert_eq!(server, ServerId::new(1));
+        // Genesis replay: no snapshot, the whole journal re-interprets.
+        assert_eq!(report.snapshot_covered, 0);
+        assert_eq!(report.replayed_blocks, report.journal_blocks);
+        assert!(report.journal_blocks > 0, "blocks were journaled pre-crash");
+        // All four servers (including the crashed one) deliver exactly once.
+        let deliveries: Vec<_> = outcome
+            .deliveries
+            .iter()
+            .filter(|d| d.indication == BrbIndication::Deliver(42))
+            .collect();
+        assert_eq!(deliveries.len(), 4);
+        let servers: std::collections::BTreeSet<_> = deliveries.iter().map(|d| d.server).collect();
+        assert_eq!(servers.len(), 4);
+        // The store stayed attached through recovery and kept journaling.
+        assert!(outcome.shim(1).store_attached());
+        assert!(outcome.shim(1).store_error().is_none());
+    }
+
+    #[test]
+    fn durable_crash_with_snapshots_replays_only_the_suffix() {
+        let config = SimConfig::new(4).with_max_time(2_000);
+        let mut sim: Simulation<Brb<u64>> = Simulation::new(config)
+            .with_durable_store(2, Box::new(dagbft_core::MemoryStore::new()), 600)
+            .with_durable_snapshots(4);
+        sim.inject(broadcast_injection(0, 0, 1, 7));
+        let outcome = sim.run();
+        assert_eq!(outcome.recoveries.len(), 1);
+        let (_, server, report) = outcome.recoveries[0];
+        assert_eq!(server, ServerId::new(2));
+        // Snapshot catch-up: only the suffix past the snapshot replays.
+        assert!(report.snapshot_covered > 0, "snapshot restored");
+        assert!(
+            report.replayed_blocks < report.journal_blocks,
+            "replayed {} of {}",
+            report.replayed_blocks,
+            report.journal_blocks
+        );
+        assert_eq!(
+            report.snapshot_covered + report.replayed_blocks,
+            report.journal_blocks
+        );
+        assert_eq!(outcome.deliveries.len(), 4);
     }
 
     #[test]

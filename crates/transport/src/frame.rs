@@ -112,6 +112,9 @@ pub struct FrameArenaStats {
     pub recycled: u64,
     /// Buffers reclaimed after their last reference dropped.
     pub reclaimed: u64,
+    /// Buffers returned directly after a failed frame read (disconnect or
+    /// drain timeout mid-payload).
+    pub released: u64,
 }
 
 /// A pool of reusable frame buffers for the receive path.
@@ -204,6 +207,19 @@ impl FrameArena {
         }
     }
 
+    /// Returns an unused buffer straight to the pool, capacity intact.
+    ///
+    /// The receive path calls this when a frame fails mid-read (peer
+    /// disconnect, drain timeout): the buffer never reached a decoder, so
+    /// it can be reused immediately instead of leaking out of the pool.
+    pub fn release(&mut self, mut buffer: Vec<u8>) {
+        self.stats.released += 1;
+        if self.spares.len() < self.buffers {
+            buffer.clear();
+            self.spares.push(buffer);
+        }
+    }
+
     /// Registers a lent-out payload for future reclamation. Past the
     /// tracking capacity the oldest handle is handed over for good (its
     /// holder — typically the DAG's cached wire image — now owns the
@@ -217,9 +233,81 @@ impl FrameArena {
     }
 }
 
+/// Maximum consecutive idle reads tolerated while draining a partially
+/// received payload. With the transport's 25 ms read timeout this bounds a
+/// stalled mid-frame peer to ~10 s before the connection is dropped.
+const MAX_MIDFRAME_IDLE_READS: u32 = 400;
+
+/// Fills `buf` completely, retrying across read timeouts.
+///
+/// Once the length prefix has been consumed the stream is mid-frame:
+/// propagating a timeout would make the caller re-read the next bytes as
+/// a fresh length prefix and desynchronise the framing. So partial
+/// payloads are drained across timeouts, bounded by
+/// [`MAX_MIDFRAME_IDLE_READS`] so a hung peer cannot pin the reader.
+fn read_exact_draining<R: Read>(reader: &mut R, mut buf: &mut [u8]) -> io::Result<()> {
+    let mut idle_reads = 0u32;
+    while !buf.is_empty() {
+        match reader.read(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ));
+            }
+            Ok(n) => {
+                idle_reads = 0;
+                buf = &mut buf[n..];
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle_reads += 1;
+                if idle_reads >= MAX_MIDFRAME_IDLE_READS {
+                    return Err(err);
+                }
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(())
+}
+
+/// Reads a frame's `u32` length prefix with zero-or-all semantics: a
+/// timeout before the first byte propagates (nothing consumed, the whole
+/// frame read can be retried), while a timeout after a partial prefix
+/// drains the remaining bytes so retries never misparse payload bytes as
+/// a length.
+fn read_len_prefix<R: Read>(reader: &mut R) -> io::Result<usize> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got == 0 {
+        match reader.read(&mut len_bytes) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed between frames",
+                ));
+            }
+            Ok(n) => got = n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
+    read_exact_draining(reader, &mut len_bytes[got..])?;
+    Ok(u32::from_le_bytes(len_bytes) as usize)
+}
+
 /// [`read_net_message`] over a [`FrameArena`]: the frame is read into a
 /// pooled buffer and decoded as shared [`Bytes`], and the buffer is
 /// recycled once every reference to it drops.
+///
+/// A frame that fails mid-payload (peer disconnect, drain timeout) is
+/// cleaned up fully: the partial payload is discarded and its buffer is
+/// [released](FrameArena::release) back to the arena, so a flapping
+/// connection never bleeds pooled allocations.
 ///
 /// # Errors
 ///
@@ -228,9 +316,7 @@ pub fn read_net_message_pooled<R: Read>(
     reader: &mut R,
     arena: &mut FrameArena,
 ) -> io::Result<NetMessage> {
-    let mut len_bytes = [0u8; 4];
-    reader.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
+    let len = read_len_prefix(reader)?;
     if len > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -239,7 +325,10 @@ pub fn read_net_message_pooled<R: Read>(
     }
     let mut buffer = arena.acquire();
     buffer.resize(len, 0);
-    reader.read_exact(&mut buffer)?;
+    if let Err(err) = read_exact_draining(reader, &mut buffer) {
+        arena.release(buffer);
+        return Err(err);
+    }
     let payload = Bytes::from(buffer);
     let message = decode_from_bytes(&payload)
         .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()));
@@ -439,6 +528,86 @@ mod tests {
         // The garbage frame's buffer is still recycled.
         arena.sweep();
         assert_eq!(arena.stats().reclaimed, 1);
+    }
+
+    #[test]
+    fn partial_frame_releases_buffer_instead_of_poisoning_arena() {
+        let block = sample_block();
+        let message = NetMessage::Block(block);
+        let mut wire = Vec::new();
+        write_net_message(&mut wire, &message).unwrap();
+
+        // A disconnect mid-payload: the length prefix and half the payload
+        // arrive, then the stream ends.
+        let mut truncated = wire.clone();
+        truncated.truncate(wire.len() - wire.len() / 2);
+        let mut arena = FrameArena::new(4);
+        let mut cursor = io::Cursor::new(truncated);
+        let err = read_net_message_pooled(&mut cursor, &mut arena).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // The partial buffer went back to the pool, not into the void.
+        assert_eq!(arena.stats().released, 1);
+        assert_eq!(arena.lent(), 0);
+
+        // The released buffer is recycled by the next (complete) frame.
+        let mut cursor = io::Cursor::new(wire);
+        let decoded = read_net_message_pooled(&mut cursor, &mut arena).unwrap();
+        assert_eq!(decoded, message);
+        assert_eq!(arena.stats().recycled, 1);
+    }
+
+    /// A reader that yields timeouts between single-byte reads — the shape
+    /// of a slow peer on a stream with a read timeout.
+    struct Trickle {
+        data: Vec<u8>,
+        at: usize,
+        give_byte: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.at >= self.data.len() {
+                return Ok(0);
+            }
+            self.give_byte = !self.give_byte;
+            if !self.give_byte {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+            }
+            buf[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn mid_frame_timeouts_are_drained_not_desynced() {
+        let block = sample_block();
+        let messages = [
+            NetMessage::Block(block.clone()),
+            NetMessage::FwdRequest(block.block_ref()),
+        ];
+        let mut wire = Vec::new();
+        for message in &messages {
+            write_net_message(&mut wire, message).unwrap();
+        }
+        let mut trickle = Trickle {
+            data: wire,
+            at: 0,
+            give_byte: false,
+        };
+        let mut arena = FrameArena::new(4);
+        // The length prefix still goes through read_exact, which bails on
+        // the first timeout — retry it like the transport's read loop does.
+        for expected in &messages {
+            let received = loop {
+                match read_net_message_pooled(&mut trickle, &mut arena) {
+                    Ok(message) => break message,
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => continue,
+                    Err(err) => panic!("unexpected error: {err}"),
+                }
+            };
+            assert_eq!(&received, expected);
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`NodeHandle`] / [`spawn_node`] — an event-loop thread around a
 //!   [`dagbft_core::Shim`], with channels for user requests and
 //!   indications;
+//! * [`spawn_node_with_store`] — the same loop over a durable
+//!   [`dagbft_core::BlockStore`]: the shim recovers from the journal on
+//!   start and journals every admitted block from then on;
 //! * [`spawn_local_cluster`] — `n` nodes on localhost, for tests, examples
 //!   and demos.
 //!
@@ -30,5 +33,5 @@ pub mod frame;
 mod node;
 mod tcp;
 
-pub use node::{spawn_local_cluster, spawn_node, NodeConfig, NodeHandle};
+pub use node::{spawn_local_cluster, spawn_node, spawn_node_with_store, NodeConfig, NodeHandle};
 pub use tcp::TcpTransport;

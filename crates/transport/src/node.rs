@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dagbft_core::{
-    shim::SetupError, DeterministicProtocol, Label, NetCommand, Shim, ShimConfig, TimeMs,
+    shim::SetupError, BlockStore, DeterministicProtocol, Label, NetCommand, RecoverError,
+    RecoveryReport, Shim, ShimConfig, TimeMs,
 };
 use dagbft_crypto::{KeyRegistry, ServerId};
 
@@ -111,8 +112,61 @@ where
     P::Message: Send,
     P::Indication: Send,
 {
+    let shim: Shim<P> = Shim::new(transport.me(), config, registry)?;
+    Ok(spawn_with_shim(shim, node_config, transport))
+}
+
+/// Spawns a node with a durable [`BlockStore`]: the shim is **recovered**
+/// from whatever the store holds (empty store → fresh start) before the
+/// event loop begins, and every block admitted from then on is journaled
+/// through the same store.
+///
+/// On restart after a crash the journal replays — past the latest
+/// snapshot, only the suffix — and gossip resumes from the recovered
+/// frontier. Blocks lost to a torn journal tail come back through the
+/// normal `FWD` path: peers' newer blocks reference them, the shim
+/// requests the missing range, and the re-admitted blocks are re-journaled.
+/// The recovered builder never reuses a sequence number (§7's
+/// equivocation caveat): recovery refuses to resume below the highest
+/// self-built record ever synced.
+///
+/// Indications raised by the replay are delivered to the (restarted)
+/// user through the normal channel — restart semantics are at-least-once.
+///
+/// # Errors
+///
+/// Any [`RecoverError`]: an unreadable or corrupted journal, a broken
+/// topology, a diverged snapshot, or a registry missing
+/// `transport.me()`'s key.
+pub fn spawn_node_with_store<P>(
+    config: ShimConfig,
+    node_config: NodeConfig,
+    registry: &KeyRegistry,
+    transport: TcpTransport,
+    store: Box<dyn BlockStore>,
+) -> Result<(NodeHandle<P>, RecoveryReport), RecoverError>
+where
+    P: DeterministicProtocol + Send + Sync + 'static,
+    P::Request: Send,
+    P::Message: Send,
+    P::Indication: Send,
+{
+    let (shim, report) = Shim::recover_from_store(transport.me(), config, registry, store)?;
+    Ok((spawn_with_shim(shim, node_config, transport), report))
+}
+
+fn spawn_with_shim<P>(
+    mut shim: Shim<P>,
+    node_config: NodeConfig,
+    transport: TcpTransport,
+) -> NodeHandle<P>
+where
+    P: DeterministicProtocol + Send + Sync + 'static,
+    P::Request: Send,
+    P::Message: Send,
+    P::Indication: Send,
+{
     let me = transport.me();
-    let mut shim: Shim<P> = Shim::new(me, config, registry)?;
     let (requests_tx, requests_rx) = unbounded::<(Label, P::Request)>();
     let (indications_tx, indications_rx) = unbounded();
     let (stop_tx, stop_rx) = unbounded::<()>();
@@ -180,13 +234,13 @@ where
         }
     });
 
-    Ok(NodeHandle {
+    NodeHandle {
         me,
         requests_tx,
         indications_rx,
         stop_tx,
         thread: Some(thread),
-    })
+    }
 }
 
 fn route(transport: &TcpTransport, commands: Vec<NetCommand>) {

@@ -14,7 +14,13 @@ use dagbft_crypto::ServerId;
 use crate::frame::{read_net_message_pooled, write_frame, write_net_message, FrameArena, Hello};
 
 const POLL: Duration = Duration::from_millis(25);
-const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
+/// First reconnect delay; doubles per failed attempt up to [`BACKOFF_MAX`].
+const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
+/// Backoff ceiling, also the cool-down before a peer marked down is probed
+/// again by the sender loop.
+const BACKOFF_MAX: Duration = Duration::from_millis(1_600);
+/// Connect attempts per [`connect_with_hello`] burst (50 → 800 ms sleeps).
+const CONNECT_ATTEMPTS: u32 = 6;
 
 /// A TCP transport endpoint for one server.
 ///
@@ -227,6 +233,10 @@ fn sender_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let mut connection: Option<TcpStream> = None;
+    // After a full failed connect burst the peer is marked down until this
+    // deadline: queued messages drain (dropped — gossip's FWD mechanism
+    // recovers missing blocks) without each one paying a connect burst.
+    let mut down_until: Option<std::time::Instant> = None;
     while !shutdown.load(Ordering::SeqCst) {
         let message = match outbox.recv_timeout(POLL) {
             Ok(message) => message,
@@ -236,7 +246,14 @@ fn sender_loop(
         // Ensure a connection; on failure, drop the message — gossip's FWD
         // mechanism recovers missing blocks, as under the lossy simulator.
         if connection.is_none() {
-            connection = connect_with_hello(me, peer, &shutdown);
+            let now = std::time::Instant::now();
+            if down_until.is_none_or(|deadline| now >= deadline) {
+                connection = connect_with_hello(me, peer, &shutdown);
+                down_until = match connection {
+                    Some(_) => None,
+                    None => Some(now + BACKOFF_MAX),
+                };
+            }
         }
         // The zero-copy write path: a block's cached wire bytes stream
         // straight into the frame, no per-send re-encode.
@@ -249,29 +266,53 @@ fn sender_loop(
                         connection = None;
                     }
                 }
+                if connection.is_none() {
+                    down_until = Some(std::time::Instant::now() + BACKOFF_MAX);
+                }
             }
         }
     }
 }
 
+/// One bounded reconnect burst: [`CONNECT_ATTEMPTS`] attempts with
+/// exponential backoff from [`BACKOFF_INITIAL`] capped at [`BACKOFF_MAX`],
+/// abandoning promptly on shutdown.
 fn connect_with_hello(me: ServerId, peer: SocketAddr, shutdown: &AtomicBool) -> Option<TcpStream> {
-    for _ in 0..3 {
+    let mut backoff = BACKOFF_INITIAL;
+    for attempt in 0..CONNECT_ATTEMPTS {
         if shutdown.load(Ordering::SeqCst) {
             return None;
         }
-        match TcpStream::connect_timeout(&peer, Duration::from_millis(500)) {
-            Ok(mut stream) => {
-                if stream.set_nodelay(true).is_err() {
-                    return None;
-                }
-                if write_frame(&mut stream, &Hello { from: me }).is_ok() {
-                    return Some(stream);
-                }
+        if let Ok(mut stream) = TcpStream::connect_timeout(&peer, Duration::from_millis(500)) {
+            if stream.set_nodelay(true).is_err() {
+                return None;
             }
-            Err(_) => std::thread::sleep(RECONNECT_BACKOFF),
+            if write_frame(&mut stream, &Hello { from: me }).is_ok() {
+                return Some(stream);
+            }
+        }
+        if attempt + 1 < CONNECT_ATTEMPTS {
+            sleep_interruptible(backoff, shutdown);
+            backoff = (backoff * 2).min(BACKOFF_MAX);
         }
     }
     None
+}
+
+/// Sleeps `duration` in [`POLL`]-sized slices, returning early on shutdown
+/// so backoff waits never delay teardown.
+fn sleep_interruptible(duration: Duration, shutdown: &AtomicBool) {
+    let deadline = std::time::Instant::now() + duration;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return;
+        }
+        std::thread::sleep(POLL.min(remaining));
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +376,40 @@ mod tests {
         assert_eq!(from, ServerId::new(1));
         assert_eq!(received, message);
 
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn sender_backs_off_and_reconnects_when_peer_appears_late() {
+        // Reserve a port, release it, and point A at it before anything
+        // listens there.
+        let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+        let b_addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let a =
+            TcpTransport::bind(ServerId::new(0), localhost(), vec![localhost(), b_addr]).unwrap();
+        // The first send exhausts a full backoff burst against the dead
+        // address and is dropped (FWD recovery covers losses in the real
+        // system); the peer is marked down.
+        a.send(ServerId::new(1), sample_message());
+        // Now the peer comes up on that port; a later send must get
+        // through once the down cool-down expires.
+        let b = TcpTransport::bind(ServerId::new(1), b_addr, vec![a.local_addr(), localhost()])
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let mut delivered = false;
+        while std::time::Instant::now() < deadline {
+            a.send(ServerId::new(1), sample_message());
+            if b.incoming()
+                .recv_timeout(Duration::from_millis(500))
+                .is_ok()
+            {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "sender must reconnect after peer comes up");
         a.shutdown();
         b.shutdown();
     }

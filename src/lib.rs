@@ -17,6 +17,7 @@
 //! | [`dag`] | the framework: blocks, DAG, `gossip`, `interpret`, `shim` |
 //! | [`protocols`] | deterministic `P`s: BRB, consistent broadcast, PBFT-lite SMR, payments |
 //! | [`sim`] | discrete-event network, byzantine adversaries, metrics |
+//! | [`store`] | durable block journal: checksummed records, crash recovery, snapshots |
 //! | [`baseline`] | the direct point-to-point comparator deployment |
 //! | [`transport`] | real TCP transport (threads, framing) for live clusters |
 //! | [`crypto`] | SHA-256, HMAC signatures, identities |
@@ -57,16 +58,18 @@ pub use dagbft_core as dag;
 pub use dagbft_crypto as crypto;
 pub use dagbft_protocols as protocols;
 pub use dagbft_sim as sim;
+pub use dagbft_store as store;
 pub use dagbft_transport as transport;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use dagbft_baseline::{BaselineConfig, BaselineSimulation, DirectInjection};
     pub use dagbft_core::{
-        AdmissionMode, Block, BlockDag, BlockRef, DeterministicProtocol, Envelope, Gossip,
-        GossipConfig, GossipStats, Indication, InterpretStats, Interpreter, InterpreterFootprint,
-        Label, LabeledRequest, NetCommand, NetMessage, Outbox, ProtocolConfig,
-        ReferenceInterpreter, SeqNum, Shim, ShimConfig, TimeMs,
+        AdmissionMode, Block, BlockDag, BlockRef, BlockStore, DeterministicProtocol, Envelope,
+        Gossip, GossipConfig, GossipStats, Indication, InterpretStats, Interpreter,
+        InterpreterFootprint, Label, LabeledRequest, MemoryStore, NetCommand, NetMessage, Outbox,
+        ProtocolConfig, RecoverError, RecoveryReport, ReferenceInterpreter, SeqNum, Shim,
+        ShimConfig, SnapshotProtocol, StoreContents, StoreError, TimeMs,
     };
     pub use dagbft_crypto::{KeyRegistry, SchemeKind, ServerId};
     pub use dagbft_protocols::{
@@ -77,4 +80,5 @@ pub mod prelude {
         Delivery, Injection, Latency, NetMetrics, NetworkModel, Partition, Role, SimConfig,
         SimOutcome, Simulation,
     };
+    pub use dagbft_store::{FileStore, JournalStore, MemStore};
 }

@@ -6,11 +6,17 @@ use std::collections::BTreeSet;
 
 use dagbft::prelude::*;
 
-#[test]
-fn restarted_server_catches_up_and_delivers() {
+/// The §7 restart scenario under an explicit signature scheme and
+/// admission engine: crash mid-run, rejoin, catch up through gossip,
+/// never equivocate. Recovery is interpretation-level — none of its code
+/// paths may depend on which admission engine re-admits the replayed
+/// blocks or which scheme signed them.
+fn restart_case(scheme: SchemeKind, admission: AdmissionMode) {
     let n = 4;
     let config = SimConfig::new(n)
         .with_max_time(60_000)
+        .with_scheme(scheme)
+        .with_admission(admission)
         .with_role(
             3,
             Role::Restart {
@@ -47,7 +53,7 @@ fn restarted_server_catches_up_and_delivers() {
         .collect();
     assert!(
         late_deliverers.contains(&3),
-        "restarted server must catch up: {late_deliverers:?}"
+        "{scheme:?}/{admission:?}: restarted server must catch up: {late_deliverers:?}"
     );
     assert_eq!(late_deliverers.len(), 4);
 
@@ -57,11 +63,32 @@ fn restarted_server_catches_up_and_delivers() {
         let dag = outcome.shim(index).dag();
         assert!(
             dag.equivocations(ServerId::new(3)).is_empty(),
-            "restart must not equivocate (observer {index})"
+            "{scheme:?}/{admission:?}: restart must not equivocate (observer {index})"
         );
     }
     // The restarted server is a correct server at the end.
     assert!(outcome.correct_servers().contains(&3));
+}
+
+#[test]
+fn restarted_server_catches_up_and_delivers() {
+    restart_case(SchemeKind::Hmac, AdmissionMode::Index);
+}
+
+#[test]
+fn restart_matrix_across_schemes_and_admission_engines() {
+    // Every (scheme × admission engine) pair must survive the same crash:
+    // the HMAC stand-in and real ed25519, each under the scan oracle, the
+    // wave-batched index, and the parallel verification pipeline.
+    for scheme in [SchemeKind::Hmac, SchemeKind::Ed25519] {
+        for admission in [
+            AdmissionMode::Index,
+            AdmissionMode::Scan,
+            AdmissionMode::Parallel { workers: 2 },
+        ] {
+            restart_case(scheme, admission);
+        }
+    }
 }
 
 #[test]
