@@ -1,0 +1,225 @@
+//! Markdown link checker for the documentation suite.
+//!
+//! Walks `README.md`, `ROADMAP.md`, `vendor/README.md`, and every file
+//! under `docs/`, extracts inline markdown links (`[text](target)`)
+//! outside fenced code blocks, and verifies that every relative target
+//! resolves to an existing file — with `#anchor` fragments checked
+//! against the target file's headings under GitHub's slug rules.
+//! External (`http(s)://`, `mailto:`) targets are only syntax-checked:
+//! CI runs fully offline.
+//!
+//! Exits nonzero listing every broken link, so the docs cannot rot
+//! silently; CI runs this next to the `report_* --check` gates.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Files to check, relative to the repository root.
+fn doc_files() -> Vec<PathBuf> {
+    let mut files = vec![
+        PathBuf::from("README.md"),
+        PathBuf::from("ROADMAP.md"),
+        PathBuf::from("vendor/README.md"),
+    ];
+    if let Ok(entries) = std::fs::read_dir("docs") {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// One `[text](target)` occurrence.
+struct Link {
+    line: usize,
+    target: String,
+}
+
+/// Blanks out inline code spans (`` `...` ``) so `](` sequences inside
+/// them are not mistaken for links.
+fn mask_code_spans(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_code = false;
+    for ch in line.chars() {
+        if ch == '`' {
+            in_code = !in_code;
+            out.push(' ');
+        } else if in_code {
+            out.push(' ');
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Extracts inline links outside fenced code blocks and inline code
+/// spans.
+fn extract_links(text: &str) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (index, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let line = mask_code_spans(raw);
+        let mut offset = 0;
+        while let Some(open) = line[offset..].find("](") {
+            let start = offset + open + 2;
+            let Some(len) = line[start..].find(')') else {
+                break;
+            };
+            links.push(Link {
+                line: index + 1,
+                target: line[start..start + len].to_owned(),
+            });
+            offset = start + len + 1;
+        }
+    }
+    links
+}
+
+/// GitHub's heading-slug rule: lowercase; alphanumerics, hyphens, and
+/// underscores survive; spaces become hyphens; everything else drops.
+fn slug(heading: &str) -> String {
+    let mut out = String::new();
+    for ch in heading.trim().chars() {
+        if ch.is_alphanumeric() {
+            out.extend(ch.to_lowercase());
+        } else if ch == ' ' {
+            out.push('-');
+        } else if ch == '-' || ch == '_' {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Every heading slug in a markdown file (fences skipped).
+fn heading_slugs(text: &str) -> BTreeSet<String> {
+    let mut slugs = BTreeSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            slugs.insert(slug(line.trim_start_matches('#')));
+        }
+    }
+    slugs
+}
+
+/// Checks one link from `file`; pushes a description of each problem.
+fn check_link(file: &Path, link: &Link, problems: &mut Vec<String>) {
+    let target = link.target.trim();
+    let at = format!("{}:{}", file.display(), link.line);
+    if target.is_empty() {
+        problems.push(format!("{at}: empty link target"));
+        return;
+    }
+    if target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+    {
+        if target.contains(' ') {
+            problems.push(format!("{at}: malformed external link `{target}`"));
+        }
+        return;
+    }
+    let (path_part, anchor) = match target.split_once('#') {
+        Some((path, anchor)) => (path, Some(anchor)),
+        None => (target, None),
+    };
+    let resolved = if path_part.is_empty() {
+        file.to_path_buf()
+    } else {
+        file.parent().unwrap_or(Path::new(".")).join(path_part)
+    };
+    if !resolved.exists() {
+        problems.push(format!(
+            "{at}: target `{target}` does not exist ({})",
+            resolved.display()
+        ));
+        return;
+    }
+    if let Some(anchor) = anchor {
+        let Ok(text) = std::fs::read_to_string(&resolved) else {
+            problems.push(format!("{at}: target `{target}` unreadable"));
+            return;
+        };
+        if !heading_slugs(&text).contains(anchor) {
+            problems.push(format!(
+                "{at}: anchor `#{anchor}` not found in {}",
+                resolved.display()
+            ));
+        }
+    }
+}
+
+fn main() {
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    let files = doc_files();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(error) => {
+                problems.push(format!("{}: unreadable: {error}", file.display()));
+                continue;
+            }
+        };
+        for link in extract_links(&text) {
+            checked += 1;
+            check_link(file, &link, &mut problems);
+        }
+    }
+    println!("check_docs: {} links across {} files", checked, files.len());
+    if problems.is_empty() {
+        println!("DOCS OK");
+    } else {
+        for problem in &problems {
+            eprintln!("BROKEN: {problem}");
+        }
+        eprintln!("check_docs: {} broken links", problems.len());
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_links_and_skips_fences() {
+        let text = "see [a](x.md) and [b](y.md#sec)\n```\n[not](code.md)\n```\n[c](z.md)";
+        let links: Vec<String> = extract_links(text).into_iter().map(|l| l.target).collect();
+        assert_eq!(links, ["x.md", "y.md#sec", "z.md"]);
+    }
+
+    #[test]
+    fn inline_code_spans_are_not_links() {
+        let text = "folds into `[8](P − Q) = O` — see [real](x.md)";
+        let links: Vec<String> = extract_links(text).into_iter().map(|l| l.target).collect();
+        assert_eq!(links, ["x.md"]);
+    }
+
+    #[test]
+    fn slugs_match_github_rules() {
+        assert_eq!(slug("Build and test"), "build-and-test");
+        assert_eq!(slug("What to watch"), "what-to-watch");
+        assert_eq!(
+            slug("Interpreter architecture: copy-on-write state sharing"),
+            "interpreter-architecture-copy-on-write-state-sharing"
+        );
+    }
+}

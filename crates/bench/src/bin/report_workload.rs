@@ -1,0 +1,786 @@
+//! Observability workload experiment: a zipfian payments workload driven
+//! across 10⁵+ distinct BRB labels, with the live metrics layer measured
+//! while it watches.
+//!
+//! Four measurements, all seeded:
+//!
+//! 1. **Offline zipfian chain** — `zipf_transfers` generates 102 400
+//!    sequenced payment orders over 10 000 accounts (exponent 1.0: the
+//!    top 1 % of senders carry well over a third of the traffic). Four
+//!    builders pack them 256-per-block into a chained DAG; one observing
+//!    shim admits the chain in multi-round bursts and interprets every
+//!    transfer to delivery. The run's gossip/wave/interpreter/crypto
+//!    counters are mirror-published into a [`MetricsRegistry`] and the
+//!    JSON records the wave shape, the verify-batch sizes, and the
+//!    copy-on-write instance footprint (unique vs resident) at 10⁵-label
+//!    scale. Floors: ≥10⁵ distinct labels, every transfer delivered and
+//!    ledger-applied, CoW sharing ≥2×, wave batching engaged.
+//!
+//! 2. **Live TCP cluster** — three nodes with
+//!    `NodeConfig::metrics_addr` serve JSON snapshots over HTTP while a
+//!    smaller zipfian workload (900 transfers) broadcasts through them;
+//!    the endpoints are scraped *mid-run* with [`dagbft_metrics::scrape`].
+//!    The JSON records per-peer send/recv message and byte counters and
+//!    the endpoint's self-observed request count. Floors: all transfers
+//!    delivered everywhere, every node's scrape shows validated blocks,
+//!    traffic counters non-zero.
+//!
+//! 3. **Registry overhead** — the `report_admission` 2048-item batched
+//!    verification gate, run bare and with per-batch registry updates
+//!    through pre-registered handles (atomic stores — the lock-light
+//!    pattern; per-batch is strictly more frequent than the node event
+//!    loop's per-tick cadence, so the gate is conservative). Interleaved
+//!    best-of rounds; floor: ≤5 % overhead (`ratio ≤ 1.05`).
+//!
+//! 4. **Documentation drift** — every field name in the populated
+//!    registry must appear in the `docs/METRICS.md` field table
+//!    (`peer<index>_*` normalized to `peer<i>_*`). A registry field
+//!    missing from the docs fails `--check`.
+//!
+//! The final stdout line is a machine-readable JSON object
+//! (`BENCH_workload.json` is a checked-in snapshot). `--check` re-runs
+//! everything, enforces the floors, and diffs the JSON schema against
+//! the snapshot.
+//!
+//! Run with: `cargo run --release -p dagbft-bench --bin report_workload`
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use dagbft_bench::workload::{
+    distinct_labels, hot_sender_share, initial_balances, zipf_transfers, WorkloadConfig,
+};
+use dagbft_bench::{check_snapshot_schema, cores, f2};
+use dagbft_core::{
+    Block, LabeledRequest, NetMessage, ProtocolConfig, RecoveryReport, SeqNum, Shim, ShimConfig,
+};
+use dagbft_crypto::{sha256, KeyRegistry, ServerId, Signature, SignedDigest};
+use dagbft_metrics::{publish, scrape, MetricsRegistry};
+use dagbft_protocols::{Brb, BrbIndication, BrbRequest, Ledger, Transfer};
+use dagbft_transport::{spawn_local_cluster, NodeConfig};
+
+const SEED: u64 = 17;
+
+// Offline chain shape: BUILDERS × REQUESTS_PER_BLOCK × LOAD_ROUNDS
+// transfers (102 400 ≥ the 10⁵-label floor), plus empty tail rounds so
+// the last injections reach delivery quorum.
+const BUILDERS: usize = 4;
+const N: usize = BUILDERS + 1;
+const REQUESTS_PER_BLOCK: usize = 256;
+const LOAD_ROUNDS: u64 = 100;
+const TAIL_ROUNDS: u64 = 6;
+/// Rounds folded into one ingest burst — the cross-cascade bracket turns
+/// each burst into multi-round verification waves.
+const BURST_ROUNDS: usize = 8;
+const ACCOUNTS: usize = 10_000;
+const EXPONENT: f64 = 1.0;
+
+// Live cluster shape.
+const LIVE_NODES: usize = 3;
+const LIVE_TRANSFERS: usize = 900;
+const LIVE_ACCOUNTS: usize = 200;
+
+// Overhead gate shape (mirrors report_admission's 2k-item row).
+const OVERHEAD_ITEMS: usize = 2048;
+const OVERHEAD_ROUNDS: usize = 8;
+
+fn offline_config() -> WorkloadConfig {
+    WorkloadConfig {
+        accounts: ACCOUNTS,
+        transfers: BUILDERS * REQUESTS_PER_BLOCK * LOAD_ROUNDS as usize,
+        exponent: EXPONENT,
+        seed: SEED,
+    }
+}
+
+/// Applies a delivered transfer set to a fresh ledger in `(from, seq)`
+/// order — the deterministic one-pass settlement (dense per-sender
+/// sequencing makes retry loops unnecessary). Returns the applied count.
+fn settle_sorted(config: &WorkloadConfig, mut delivered: Vec<Transfer>) -> usize {
+    delivered.sort_by_key(|transfer| (transfer.from, transfer.seq));
+    let mut ledger = Ledger::new(initial_balances(config));
+    let supply = ledger.total_supply();
+    let applied = delivered
+        .iter()
+        .filter(|transfer| ledger.apply(transfer).is_ok())
+        .count();
+    assert_eq!(ledger.total_supply(), supply, "settlement conserves supply");
+    applied
+}
+
+// ---------------------------------------------------------------------------
+// Measurement 1: offline zipfian chain at 10⁵-label scale.
+
+struct OfflineRow {
+    transfers: usize,
+    labels: usize,
+    hot_share: f64,
+    blocks: usize,
+    deliveries: usize,
+    applied: usize,
+    waves: u64,
+    largest_wave: usize,
+    batched_blocks: u64,
+    instances: usize,
+    unique_instances: usize,
+    batched_verifies: u64,
+    largest_batch: u64,
+    interpret_seconds: f64,
+    snapshot_bytes: usize,
+}
+
+impl OfflineRow {
+    fn json(&self) -> String {
+        format!(
+            "{{\"transfers\":{},\"labels\":{},\"hot_share_top1pct\":{:.4},\"blocks\":{},\
+             \"deliveries\":{},\"applied\":{},\"waves\":{},\"largest_wave\":{},\
+             \"batched_blocks\":{},\"instances\":{},\"unique_instances\":{},\
+             \"batched_verifies\":{},\"largest_batch\":{},\"interpret_seconds\":{:.6},\
+             \"snapshot_bytes\":{}}}",
+            self.transfers,
+            self.labels,
+            self.hot_share,
+            self.blocks,
+            self.deliveries,
+            self.applied,
+            self.waves,
+            self.largest_wave,
+            self.batched_blocks,
+            self.instances,
+            self.unique_instances,
+            self.batched_verifies,
+            self.largest_batch,
+            self.interpret_seconds,
+            self.snapshot_bytes,
+        )
+    }
+}
+
+/// Packs the workload 256-per-block into a chained `BUILDERS`-wide DAG
+/// with `TAIL_ROUNDS` empty rounds so every instance reaches quorum.
+fn build_chain(keys: &KeyRegistry, transfers: &[Transfer]) -> Vec<Block> {
+    let signers: Vec<_> = (0..BUILDERS)
+        .map(|i| keys.signer(ServerId::new(i as u32)).unwrap())
+        .collect();
+    let mut blocks = Vec::new();
+    let mut prev = Vec::new();
+    for round in 0..LOAD_ROUNDS + TAIL_ROUNDS {
+        let mut layer = Vec::new();
+        for (index, signer) in signers.iter().enumerate() {
+            let slot = (round as usize * BUILDERS + index) * REQUESTS_PER_BLOCK;
+            let requests: Vec<LabeledRequest> = transfers
+                .iter()
+                .skip(slot)
+                .take(if round < LOAD_ROUNDS {
+                    REQUESTS_PER_BLOCK
+                } else {
+                    0
+                })
+                .map(|transfer| {
+                    LabeledRequest::encode(
+                        transfer.label(),
+                        &BrbRequest::Broadcast(transfer.clone()),
+                    )
+                })
+                .collect();
+            let block = Block::build(
+                ServerId::new(index as u32),
+                SeqNum::new(round),
+                prev.clone(),
+                requests,
+                signer,
+            );
+            layer.push(block.block_ref());
+            blocks.push(block);
+        }
+        prev = layer;
+    }
+    blocks
+}
+
+fn measure_offline(metrics: &MetricsRegistry) -> OfflineRow {
+    let config = offline_config();
+    let transfers = zipf_transfers(&config);
+    let labels = distinct_labels(&transfers);
+    let hot_share = hot_sender_share(&transfers, config.accounts, config.accounts / 100);
+
+    let keys = KeyRegistry::generate(N, SEED);
+    let blocks = build_chain(&keys, &transfers);
+    let mut shim: Shim<Brb<Transfer>> = Shim::new(
+        ServerId::new(BUILDERS as u32),
+        ShimConfig::new(ProtocolConfig::for_n(N)),
+        &keys,
+    )
+    .expect("registry covers the observer");
+
+    let start = Instant::now();
+    let mut delivered: Vec<Transfer> = Vec::with_capacity(transfers.len());
+    let drain = |shim: &mut Shim<Brb<Transfer>>, delivered: &mut Vec<Transfer>| {
+        delivered.extend(
+            shim.poll_indications()
+                .into_iter()
+                .map(|(_, BrbIndication::Deliver(transfer))| transfer),
+        );
+    };
+    let mut brackets = 0u64;
+    for burst in blocks.chunks(BUILDERS * BURST_ROUNDS) {
+        let messages = burst
+            .iter()
+            .map(|block| (block.builder(), NetMessage::Block(block.clone())));
+        shim.on_message_burst(messages, brackets);
+        // The observer seals its own (empty) block per bracket: in this
+        // embedding a server's protocol instances only step at its own
+        // blocks, so without building, the observer would never deliver.
+        shim.disseminate(brackets);
+        drain(&mut shim, &mut delivered);
+        brackets += 1;
+    }
+    // Flush: a couple more own blocks pick up the last quorums.
+    for _ in 0..3 {
+        shim.disseminate(brackets);
+        drain(&mut shim, &mut delivered);
+        brackets += 1;
+    }
+    let interpret_seconds = start.elapsed().as_secs_f64();
+
+    let footprint = shim.footprint();
+    let gossip = shim.gossip().stats();
+    let waves = shim.gossip().wave_stats();
+    assert_eq!(gossip.blocks_validated, blocks.len() as u64);
+
+    // Mirror-publish the run into the registry — the same calls the node
+    // event loop makes per tick — and snapshot it.
+    publish::publish_gossip(metrics, gossip);
+    publish::publish_waves(metrics, waves);
+    publish::publish_footprint(metrics, &footprint);
+    publish::publish_crypto(metrics, keys.metrics());
+    let snapshot = metrics.snapshot_json();
+
+    let deliveries = delivered.len();
+    let applied = settle_sorted(&config, delivered);
+    OfflineRow {
+        transfers: transfers.len(),
+        labels,
+        hot_share,
+        blocks: blocks.len(),
+        deliveries,
+        applied,
+        waves: waves.waves,
+        largest_wave: waves.largest_wave,
+        batched_blocks: waves.batched_blocks,
+        instances: footprint.instances,
+        unique_instances: footprint.unique_instances,
+        batched_verifies: keys.metrics().batched_verifies(),
+        largest_batch: keys.metrics().largest_batch(),
+        interpret_seconds,
+        snapshot_bytes: snapshot.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement 2: live TCP cluster scraped mid-run.
+
+struct LiveRow {
+    nodes: usize,
+    transfers: usize,
+    deliveries: usize,
+    applied: usize,
+    scrapes: u64,
+    http_requests: u64,
+    validated_min: u64,
+    sent_msgs: u64,
+    sent_bytes: u64,
+    recv_msgs: u64,
+    recv_bytes: u64,
+}
+
+impl LiveRow {
+    fn json(&self) -> String {
+        format!(
+            "{{\"nodes\":{},\"transfers\":{},\"deliveries\":{},\"applied\":{},\"scrapes\":{},\
+             \"http_requests\":{},\"validated_min\":{},\"sent_msgs\":{},\"sent_bytes\":{},\
+             \"recv_msgs\":{},\"recv_bytes\":{}}}",
+            self.nodes,
+            self.transfers,
+            self.deliveries,
+            self.applied,
+            self.scrapes,
+            self.http_requests,
+            self.validated_min,
+            self.sent_msgs,
+            self.sent_bytes,
+            self.recv_msgs,
+            self.recv_bytes,
+        )
+    }
+}
+
+/// Pulls `"field":<u64>` out of a flat snapshot (the snapshot format is
+/// deterministic: no whitespace, sorted keys).
+fn json_u64(snapshot: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = snapshot.find(&needle)? + needle.len();
+    let digits: String = snapshot[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Sums this node's `peer<i>_<which>` counters over all peer slots.
+fn peer_total(snapshot: &str, nodes: usize, which: &str) -> u64 {
+    (0..nodes)
+        .map(|peer| json_u64(snapshot, &format!("peer{peer}_{which}")).unwrap_or(0))
+        .sum()
+}
+
+fn measure_live() -> LiveRow {
+    let config = WorkloadConfig {
+        accounts: LIVE_ACCOUNTS,
+        transfers: LIVE_TRANSFERS,
+        exponent: EXPONENT,
+        seed: SEED + 1,
+    };
+    let transfers = zipf_transfers(&config);
+    let node_config = NodeConfig {
+        disseminate_every_ms: 10,
+        tick_every_ms: 20,
+        ..NodeConfig::default()
+    }
+    .with_metrics_addr("127.0.0.1:0".parse().unwrap());
+    let (nodes, _keys) = spawn_local_cluster::<Brb<Transfer>>(
+        LIVE_NODES,
+        ShimConfig::new(ProtocolConfig::for_n(LIVE_NODES)),
+        node_config,
+        SEED,
+    )
+    .expect("localhost cluster binds");
+    let endpoints: Vec<_> = nodes
+        .iter()
+        .map(|node| node.metrics_addr().expect("endpoint bound"))
+        .collect();
+
+    for (index, transfer) in transfers.iter().enumerate() {
+        nodes[index % LIVE_NODES]
+            .request(transfer.label(), BrbRequest::Broadcast(transfer.clone()));
+    }
+
+    // Scrape all endpoints while the cluster works through the backlog.
+    let expected = LIVE_TRANSFERS * LIVE_NODES;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut delivered_at_zero: Vec<Transfer> = Vec::new();
+    let mut deliveries = 0usize;
+    let mut scrapes = 0u64;
+    let mut last: Vec<String> = vec![String::new(); LIVE_NODES];
+    while deliveries < expected && Instant::now() < deadline {
+        for (index, node) in nodes.iter().enumerate() {
+            while let Ok((_, BrbIndication::Deliver(transfer))) = node.indications().try_recv() {
+                deliveries += 1;
+                if index == 0 {
+                    delivered_at_zero.push(transfer);
+                }
+            }
+        }
+        for (index, endpoint) in endpoints.iter().enumerate() {
+            if let Ok(snapshot) = scrape(*endpoint) {
+                scrapes += 1;
+                last[index] = snapshot;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(deliveries, expected, "live cluster delivered everything");
+
+    // One settling scrape per node after the last delivery so the final
+    // counters reflect the whole run.
+    std::thread::sleep(Duration::from_millis(100));
+    for (index, endpoint) in endpoints.iter().enumerate() {
+        if let Ok(snapshot) = scrape(*endpoint) {
+            scrapes += 1;
+            last[index] = snapshot;
+        }
+    }
+    for node in nodes {
+        node.stop();
+    }
+
+    let validated_min = last
+        .iter()
+        .map(|snapshot| json_u64(snapshot, "gossip_blocks_validated").unwrap_or(0))
+        .min()
+        .unwrap_or(0);
+    let applied = settle_sorted(&config, delivered_at_zero);
+    LiveRow {
+        nodes: LIVE_NODES,
+        transfers: LIVE_TRANSFERS,
+        deliveries,
+        applied,
+        scrapes,
+        http_requests: json_u64(&last[0], "metrics_http_requests").unwrap_or(0),
+        validated_min,
+        sent_msgs: peer_total(&last[0], LIVE_NODES, "sent_msgs"),
+        sent_bytes: peer_total(&last[0], LIVE_NODES, "sent_bytes"),
+        recv_msgs: peer_total(&last[0], LIVE_NODES, "recv_msgs"),
+        recv_bytes: peer_total(&last[0], LIVE_NODES, "recv_bytes"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement 3: registry overhead on the 2k-item verification gate.
+
+struct OverheadRow {
+    items: usize,
+    base_seconds: f64,
+    metered_seconds: f64,
+}
+
+impl OverheadRow {
+    fn ratio(&self) -> f64 {
+        self.metered_seconds / self.base_seconds
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"items\":{},\"base_seconds\":{:.6},\"metered_seconds\":{:.6},\"ratio\":{:.4}}}",
+            self.items,
+            self.base_seconds,
+            self.metered_seconds,
+            self.ratio(),
+        )
+    }
+}
+
+/// The `report_admission` 2048-item batched-verification measurement,
+/// bare vs instrumented: the instrumented path updates pre-registered
+/// handles after each batch (counter stores from the live crypto
+/// atomics, plus a batch-size histogram observation) — per-*batch*
+/// publication, strictly more frequent than the node event loop's
+/// per-tick cadence, so the gate is conservative.
+fn measure_overhead() -> OverheadRow {
+    let keys = KeyRegistry::generate(4, SEED);
+    let signers: Vec<_> = (0..4)
+        .map(|i| keys.signer(ServerId::new(i)).unwrap())
+        .collect();
+    let batch: Vec<SignedDigest> = (0..OVERHEAD_ITEMS)
+        .map(|i| {
+            let signer = &signers[i % signers.len()];
+            let digest = sha256((i as u64).to_le_bytes());
+            let signature = if i % 16 == 5 {
+                Signature::NULL
+            } else {
+                signer.sign(digest.as_bytes())
+            };
+            SignedDigest {
+                claimed: signer.id(),
+                digest,
+                signature,
+            }
+        })
+        .collect();
+    let batch_verifier = keys.batch_verifier();
+    let metrics = MetricsRegistry::new();
+    // The lock-light pattern under test: registration takes the registry
+    // mutex once, per-batch updates are plain atomic stores on the
+    // returned handles.
+    let verify_counter = metrics.counter("crypto_verifies");
+    let batch_counter = metrics.counter("crypto_batches");
+    let size_histogram = metrics.histogram("verify_batch_size");
+
+    let base_path = || -> Vec<bool> { batch_verifier.verify_batch(&batch) };
+    let metered_path = || -> Vec<bool> {
+        let verdicts = batch_verifier.verify_batch(&batch);
+        verify_counter.set(keys.metrics().verifies());
+        batch_counter.set(keys.metrics().batches());
+        size_histogram.observe(verdicts.len() as u64);
+        verdicts
+    };
+
+    // Warm-up, then interleaved best-of rounds (see report_admission for
+    // why the minimum is the right estimator and why interleaving keeps
+    // host noise fair).
+    let expected = base_path();
+    assert_eq!(metered_path(), expected);
+    let mut base_seconds = f64::INFINITY;
+    let mut metered_seconds = f64::INFINITY;
+    for _ in 0..OVERHEAD_ROUNDS {
+        let start = Instant::now();
+        let verdicts = base_path();
+        base_seconds = base_seconds.min(start.elapsed().as_secs_f64());
+        assert_eq!(verdicts, expected);
+
+        let start = Instant::now();
+        let verdicts = metered_path();
+        metered_seconds = metered_seconds.min(start.elapsed().as_secs_f64());
+        assert_eq!(verdicts, expected);
+    }
+    OverheadRow {
+        items: OVERHEAD_ITEMS,
+        base_seconds,
+        metered_seconds,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement 4: documentation drift gate.
+
+/// A registry populated with every field the workspace can publish —
+/// the universe `docs/METRICS.md` must document.
+fn registry_universe(offline: &MetricsRegistry) -> BTreeSet<String> {
+    publish::publish_recovery(offline, &RecoveryReport::default());
+    publish::publish_store_health(offline, false, false);
+    publish::publish_peer(offline, 1, 0, 0, 0, 0);
+    publish::publish_node(offline, 0, 0, 0);
+    // Registered by the HTTP responder itself on first request.
+    offline.counter("metrics_http_requests");
+    offline.field_names()
+}
+
+/// Replaces a `peer<digits>_` prefix with the documented `peer<i>_` form.
+fn normalize_field(field: &str) -> String {
+    if let Some(rest) = field.strip_prefix("peer") {
+        let digits = rest.chars().take_while(char::is_ascii_digit).count();
+        if digits > 0 && rest[digits..].starts_with('_') {
+            return format!("peer<i>{}", &rest[digits..]);
+        }
+    }
+    field.to_owned()
+}
+
+/// Every backticked token in `docs/METRICS.md` table rows — the set of
+/// documented field names.
+fn documented_fields() -> Result<BTreeSet<String>, String> {
+    let doc = std::fs::read_to_string("docs/METRICS.md")
+        .map_err(|e| format!("docs/METRICS.md unreadable: {e}"))?;
+    let mut fields = BTreeSet::new();
+    for line in doc
+        .lines()
+        .filter(|line| line.trim_start().starts_with('|'))
+    {
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let Some(len) = rest[open + 1..].find('`') else {
+                break;
+            };
+            fields.insert(rest[open + 1..open + 1 + len].to_owned());
+            rest = &rest[open + 1 + len + 1..];
+        }
+    }
+    Ok(fields)
+}
+
+fn check_doc_drift(registry_fields: &BTreeSet<String>) -> Result<(), String> {
+    let documented = documented_fields()?;
+    let missing: Vec<String> = registry_fields
+        .iter()
+        .map(|field| normalize_field(field))
+        .filter(|field| !documented.contains(field))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "fields exported by the registry but missing from docs/METRICS.md: {missing:?}"
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn run() -> (OfflineRow, LiveRow, OverheadRow, BTreeSet<String>, String) {
+    let metrics = MetricsRegistry::new();
+    let offline = measure_offline(&metrics);
+    let live = measure_live();
+    let overhead = measure_overhead();
+    let fields = registry_universe(&metrics);
+    let documented = documented_fields().map(|set| set.len()).unwrap_or(0);
+    let json = format!(
+        "{{\"experiment\":\"workload_observability\",\"protocol\":\"payments\",\"seed\":{},\
+         \"cores\":{},\"accounts\":{},\"zipf_exponent\":{:.2},\"offline\":{},\"live\":{},\
+         \"overhead\":{},\"registry_fields\":{},\"documented_fields\":{}}}",
+        SEED,
+        cores(),
+        ACCOUNTS,
+        EXPONENT,
+        offline.json(),
+        live.json(),
+        overhead.json(),
+        fields.len(),
+        documented,
+    );
+    (offline, live, overhead, fields, json)
+}
+
+fn check(
+    offline: &OfflineRow,
+    live: &LiveRow,
+    overhead: &OverheadRow,
+    fields: &BTreeSet<String>,
+    json: &str,
+) -> Result<(), String> {
+    // The 10⁵-label floor: the workload must be instance-scale, not toy.
+    if offline.labels < 100_000 {
+        return Err(format!("only {} distinct labels (< 1e5)", offline.labels));
+    }
+    if offline.deliveries != offline.transfers || offline.applied != offline.transfers {
+        return Err(format!(
+            "offline run incomplete: {} delivered, {} applied of {}",
+            offline.deliveries, offline.applied, offline.transfers
+        ));
+    }
+    if offline.hot_share < 0.3 {
+        return Err(format!(
+            "zipf skew collapsed: top 1% carries {:.3}",
+            offline.hot_share
+        ));
+    }
+    // Copy-on-write must shave ≥2× off the clone-per-block footprint even
+    // at 10⁵ resident instances.
+    if offline.unique_instances * 2 > offline.instances {
+        return Err(format!(
+            "no structural sharing: {} unique of {} instances",
+            offline.unique_instances, offline.instances
+        ));
+    }
+    // Wave batching engaged: multi-block verification waves, every block
+    // through a batch, and the crypto layer saw the batches.
+    if offline.waves == 0 || offline.largest_wave < BUILDERS || offline.batched_verifies == 0 {
+        return Err(format!(
+            "verification waves degenerate: {} waves, largest {}, {} batched verifies",
+            offline.waves, offline.largest_wave, offline.batched_verifies
+        ));
+    }
+    if live.deliveries != live.transfers * live.nodes || live.applied != live.transfers {
+        return Err(format!(
+            "live cluster incomplete: {} of {} deliveries",
+            live.deliveries,
+            live.transfers * live.nodes
+        ));
+    }
+    if live.validated_min == 0 || live.scrapes == 0 || live.http_requests == 0 {
+        return Err(format!(
+            "endpoints not live: min validated {}, {} scrapes, {} http requests",
+            live.validated_min, live.scrapes, live.http_requests
+        ));
+    }
+    if live.sent_bytes == 0 || live.recv_bytes == 0 {
+        return Err("per-peer traffic counters stayed zero".into());
+    }
+    // The ≤5 % observability tax: mirror-publishing per 2k-item batch
+    // must be in the noise of the batch itself.
+    if overhead.ratio() > 1.05 {
+        return Err(format!(
+            "registry overhead {:.4} > 1.05 on the {}-item gate",
+            overhead.ratio(),
+            overhead.items
+        ));
+    }
+    check_doc_drift(fields)?;
+    check_snapshot_schema("BENCH_workload.json", json)
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+
+    println!(
+        "# Zipfian payments workload under live observability — {} transfers, {} accounts \
+         (seed {SEED})\n",
+        offline_config().transfers,
+        ACCOUNTS
+    );
+    let (offline, live, overhead, fields, json) = run();
+
+    println!(
+        "## Offline chain ({} blocks, bursts of {} rounds)",
+        offline.blocks, BURST_ROUNDS
+    );
+    println!(
+        "| {:>10} | {:>10} | {:>8} | {:>7} | {:>12} | {:>14} | {:>12} | {:>13} |",
+        "transfers",
+        "labels",
+        "hot 1%",
+        "waves",
+        "largest wave",
+        "unique inst.",
+        "resident",
+        "interpret s"
+    );
+    println!("|{}|", "-".repeat(108));
+    println!(
+        "| {:>10} | {:>10} | {:>8} | {:>7} | {:>12} | {:>14} | {:>12} | {:>13} |",
+        offline.transfers,
+        offline.labels,
+        f2(offline.hot_share),
+        offline.waves,
+        offline.largest_wave,
+        offline.unique_instances,
+        offline.instances,
+        f2(offline.interpret_seconds),
+    );
+
+    println!(
+        "\n## Live cluster ({} nodes, {} transfers, scraped mid-run)",
+        live.nodes, live.transfers
+    );
+    println!(
+        "| {:>10} | {:>7} | {:>13} | {:>13} | {:>10} | {:>10} | {:>10} | {:>10} |",
+        "deliveries",
+        "scrapes",
+        "http requests",
+        "min validated",
+        "sent msgs",
+        "sent bytes",
+        "recv msgs",
+        "recv bytes"
+    );
+    println!("|{}|", "-".repeat(106));
+    println!(
+        "| {:>10} | {:>7} | {:>13} | {:>13} | {:>10} | {:>10} | {:>10} | {:>10} |",
+        live.deliveries,
+        live.scrapes,
+        live.http_requests,
+        live.validated_min,
+        live.sent_msgs,
+        live.sent_bytes,
+        live.recv_msgs,
+        live.recv_bytes,
+    );
+
+    println!(
+        "\n## Registry overhead ({}-item verification gate): base {} ms, metered {} ms — {}x",
+        overhead.items,
+        f2(overhead.base_seconds * 1000.0),
+        f2(overhead.metered_seconds * 1000.0),
+        f2(overhead.ratio()),
+    );
+    println!(
+        "\n{} registry fields exported; docs/METRICS.md documents {}.",
+        fields.len(),
+        documented_fields().map(|set| set.len()).unwrap_or(0)
+    );
+
+    println!(
+        "\nReading: the workload opens one BRB instance per transfer —\n\
+         distinct labels equal transfers by construction — so the offline\n\
+         row is the embedding at 10⁵ concurrent instances: wave-batched\n\
+         admission keeps verification in multi-block batches while the\n\
+         copy-on-write interpreter keeps the unique-instance count far\n\
+         below the resident clone-per-block figure. The live row shows the\n\
+         same counters served over HTTP *during* the run (the endpoint\n\
+         counts its own scrapes), and the overhead row prices the whole\n\
+         observability layer at the admission gate: one mirror-publish per\n\
+         2k-item batch, gated at ≤5%.\n"
+    );
+
+    // Machine-readable trajectory line (snapshot: BENCH_workload.json).
+    println!("{json}");
+
+    if check_mode {
+        match check(&offline, &live, &overhead, &fields, &json) {
+            Ok(()) => println!("CHECK OK"),
+            Err(reason) => {
+                eprintln!("CHECK FAILED: {reason}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Mirror-publishers: copy the workspace's existing counters into a
+//! [`MetricsRegistry`] under the documented field names.
+//!
+//! Every function overwrites absolute values (the sources are themselves
+//! monotonic counters or instantaneous footprints), so publishing is
+//! idempotent and safe on any cadence. `docs/METRICS.md` documents each
+//! field emitted here; `report_workload --check` fails when the two
+//! drift.
+
+use dagbft_core::{GossipStats, InterpreterFootprint, RecoveryReport, WaveStats};
+use dagbft_crypto::CryptoMetrics;
+
+use crate::registry::MetricsRegistry;
+
+/// Publishes [`GossipStats`] — the admission observables of Algorithm 1
+/// (engine-independent: every admission mode reports identical values).
+pub fn publish_gossip(registry: &MetricsRegistry, stats: &GossipStats) {
+    registry.set_counter("gossip_blocks_received", stats.blocks_received);
+    registry.set_counter("gossip_duplicate_blocks", stats.duplicate_blocks);
+    registry.set_counter("gossip_invalid_blocks", stats.invalid_blocks);
+    registry.set_counter("gossip_blocks_validated", stats.blocks_validated);
+    registry.set_counter("gossip_blocks_built", stats.blocks_built);
+    registry.set_counter("gossip_fwd_sent", stats.fwd_sent);
+    registry.set_counter("gossip_fwd_received", stats.fwd_received);
+    registry.set_counter("gossip_fwd_answered", stats.fwd_answered);
+    registry.set_counter("gossip_blocks_evicted", stats.blocks_evicted);
+    registry.set_gauge("gossip_pending_peak", stats.pending_peak as u64);
+}
+
+/// Publishes [`WaveStats`] — the verification-pipeline shape (waves,
+/// bursts, and the wave-width log₂ histogram). Implementation properties
+/// of the batched engines: the scan oracle leaves them zero.
+pub fn publish_waves(registry: &MetricsRegistry, stats: &WaveStats) {
+    registry.set_counter("wave_count", stats.waves);
+    registry.set_counter("wave_batched_blocks", stats.batched_blocks);
+    registry.set_gauge("wave_largest", stats.largest_wave as u64);
+    registry.set_gauge("wave_smallest", stats.smallest_wave as u64);
+    registry.set_counter("wave_bursts", stats.bursts);
+    registry.set_counter("wave_burst_blocks", stats.burst_blocks);
+    registry.histogram("wave_width").store(
+        &stats.width_histogram,
+        stats.waves,
+        stats.batched_blocks,
+    );
+}
+
+/// Publishes an [`InterpreterFootprint`] — resident memory shape of the
+/// copy-on-write interpreter (unique vs total instances is the
+/// structural-sharing win).
+pub fn publish_footprint(registry: &MetricsRegistry, footprint: &InterpreterFootprint) {
+    registry.set_gauge("interp_blocks", footprint.blocks as u64);
+    registry.set_gauge("interp_instances", footprint.instances as u64);
+    registry.set_gauge("interp_unique_instances", footprint.unique_instances as u64);
+    registry.set_gauge("interp_out_envelopes", footprint.out_envelopes as u64);
+    registry.set_gauge("interp_in_envelopes", footprint.in_envelopes as u64);
+}
+
+/// Publishes [`CryptoMetrics`] — sign/verify totals and the batched /
+/// burst-amortized shares (the source counters are atomics shared by
+/// every handle of one `KeyRegistry`, so these are live even while a
+/// verification pool is running).
+pub fn publish_crypto(registry: &MetricsRegistry, metrics: &CryptoMetrics) {
+    registry.set_counter("crypto_signs", metrics.signs());
+    registry.set_counter("crypto_verifies", metrics.verifies());
+    registry.set_counter("crypto_batches", metrics.batches());
+    registry.set_counter("crypto_batched_verifies", metrics.batched_verifies());
+    registry.set_gauge("crypto_largest_batch", metrics.largest_batch());
+    registry.set_counter("crypto_bursts", metrics.bursts());
+    registry.set_counter("crypto_burst_verifies", metrics.burst_verifies());
+    registry.set_gauge("crypto_largest_burst", metrics.largest_burst());
+}
+
+/// Publishes a [`RecoveryReport`] — what the durable store replayed when
+/// this node last recovered (all zero for a fresh start).
+pub fn publish_recovery(registry: &MetricsRegistry, report: &RecoveryReport) {
+    registry.set_counter("recovery_journal_blocks", report.journal_blocks as u64);
+    registry.set_counter("recovery_replayed_blocks", report.replayed_blocks as u64);
+    registry.set_counter("recovery_snapshot_covered", report.snapshot_covered as u64);
+    registry.set_counter(
+        "recovery_requests_rebuffered",
+        report.requests_rebuffered as u64,
+    );
+    registry.set_counter(
+        "recovery_truncated_records",
+        report.truncated_records as u64,
+    );
+}
+
+/// Publishes store health: whether a durable store is attached, and
+/// whether one was detached by a write failure (the shim's
+/// fail-open-but-report policy — see `Shim::store_error`).
+pub fn publish_store_health(registry: &MetricsRegistry, attached: bool, failed: bool) {
+    registry.set_gauge("store_attached", attached as u64);
+    registry.set_gauge("store_failed", failed as u64);
+}
+
+/// Publishes one peer's transport traffic under `peer<index>_*` names
+/// (documented as `peer<i>_*` in `docs/METRICS.md`; the drift gate
+/// normalizes the index).
+pub fn publish_peer(
+    registry: &MetricsRegistry,
+    peer: usize,
+    sent_msgs: u64,
+    sent_bytes: u64,
+    recv_msgs: u64,
+    recv_bytes: u64,
+) {
+    registry.set_counter(&format!("peer{peer}_sent_msgs"), sent_msgs);
+    registry.set_counter(&format!("peer{peer}_sent_bytes"), sent_bytes);
+    registry.set_counter(&format!("peer{peer}_recv_msgs"), recv_msgs);
+    registry.set_counter(&format!("peer{peer}_recv_bytes"), recv_bytes);
+}
+
+/// Publishes node-level liveness gauges: uptime, DAG size, and the
+/// request backlog not yet sealed into a block.
+pub fn publish_node(
+    registry: &MetricsRegistry,
+    uptime_ms: u64,
+    dag_blocks: u64,
+    pending_requests: u64,
+) {
+    registry.set_gauge("node_uptime_ms", uptime_ms);
+    registry.set_gauge("node_dag_blocks", dag_blocks);
+    registry.set_gauge("node_pending_requests", pending_requests);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishers_register_documented_fields() {
+        let registry = MetricsRegistry::new();
+        publish_gossip(&registry, &GossipStats::default());
+        publish_waves(&registry, &WaveStats::default());
+        publish_footprint(&registry, &InterpreterFootprint::default());
+        publish_crypto(&registry, &CryptoMetrics::default());
+        publish_recovery(&registry, &RecoveryReport::default());
+        publish_store_health(&registry, false, false);
+        publish_peer(&registry, 0, 0, 0, 0, 0);
+        publish_node(&registry, 0, 0, 0);
+        let names = registry.field_names();
+        for expected in [
+            "gossip_blocks_validated",
+            "wave_width",
+            "interp_unique_instances",
+            "crypto_verifies",
+            "recovery_replayed_blocks",
+            "store_attached",
+            "peer0_sent_bytes",
+            "node_dag_blocks",
+        ] {
+            assert!(names.contains(expected), "missing field {expected}");
+        }
+    }
+
+    #[test]
+    fn wave_histogram_mirrors_source() {
+        let registry = MetricsRegistry::new();
+        let mut histogram_source = [0; dagbft_core::WAVE_WIDTH_BUCKETS];
+        histogram_source[2] = 3;
+        let stats = WaveStats {
+            waves: 3,
+            batched_blocks: 12,
+            width_histogram: histogram_source,
+            ..WaveStats::default()
+        };
+        publish_waves(&registry, &stats);
+        let histogram = registry.histogram("wave_width");
+        assert_eq!(histogram.count(), 3);
+        assert_eq!(histogram.sum(), 12);
+        assert_eq!(histogram.buckets()[2], 3);
+    }
+
+    #[test]
+    fn publishing_is_idempotent_overwrite() {
+        let registry = MetricsRegistry::new();
+        let mut stats = GossipStats {
+            blocks_received: 5,
+            ..GossipStats::default()
+        };
+        publish_gossip(&registry, &stats);
+        publish_gossip(&registry, &stats);
+        assert_eq!(registry.counter("gossip_blocks_received").get(), 5);
+        stats.blocks_received = 9;
+        publish_gossip(&registry, &stats);
+        assert_eq!(registry.counter("gossip_blocks_received").get(), 9);
+    }
+}

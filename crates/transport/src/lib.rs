@@ -21,6 +21,12 @@
 //! * [`spawn_local_cluster`] — `n` nodes on localhost, for tests, examples
 //!   and demos.
 //!
+//! With [`NodeConfig::metrics_addr`] set, every spawned node also serves
+//! a live JSON metrics snapshot over HTTP (see [`dagbft_metrics`]): the
+//! event loop mirrors gossip/wave/interpreter/crypto/store counters and
+//! the transport's per-peer traffic into a [`dagbft_metrics::MetricsRegistry`]
+//! on every tick.
+//!
 //! # Examples
 //!
 //! See `examples/tcp_cluster.rs` in the workspace root and this crate's
@@ -34,4 +40,4 @@ mod node;
 mod tcp;
 
 pub use node::{spawn_local_cluster, spawn_node, spawn_node_with_store, NodeConfig, NodeHandle};
-pub use tcp::TcpTransport;
+pub use tcp::{PeerTrafficSnapshot, TcpTransport};

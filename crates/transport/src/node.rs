@@ -1,6 +1,7 @@
 //! The node event loop: a [`Shim`] driven by a [`TcpTransport`].
 
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -10,6 +11,7 @@ use dagbft_core::{
     RecoveryReport, Shim, ShimConfig, TimeMs,
 };
 use dagbft_crypto::{KeyRegistry, ServerId};
+use dagbft_metrics::{publish, MetricsRegistry, MetricsServer};
 
 use crate::tcp::TcpTransport;
 
@@ -25,12 +27,27 @@ pub struct NodeConfig {
     /// Wider caps amortize verification better under sustained load;
     /// narrower ones keep tail latency low (clamped to at least 1).
     pub ingest_burst_cap: usize,
+    /// When set, the node serves a live JSON metrics snapshot over HTTP
+    /// from this address (port 0 binds ephemerally — read the bound
+    /// address back via [`NodeHandle::metrics_addr`]). The event loop
+    /// mirrors every counter documented in `docs/METRICS.md` into the
+    /// endpoint's registry on each tick (`tick_every_ms` cadence), off
+    /// the hot path. `None` (the default) spawns no endpoint and costs
+    /// nothing.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl NodeConfig {
     /// Caps the per-iteration ingest burst (clamped to at least 1).
     pub fn with_ingest_burst_cap(mut self, cap: usize) -> Self {
         self.ingest_burst_cap = cap.max(1);
+        self
+    }
+
+    /// Serves live metrics over HTTP from `addr` (see
+    /// [`NodeConfig::metrics_addr`]).
+    pub fn with_metrics_addr(mut self, addr: SocketAddr) -> Self {
+        self.metrics_addr = Some(addr);
         self
     }
 }
@@ -41,6 +58,7 @@ impl Default for NodeConfig {
             disseminate_every_ms: 50,
             tick_every_ms: 100,
             ingest_burst_cap: 1024,
+            metrics_addr: None,
         }
     }
 }
@@ -54,6 +72,7 @@ pub struct NodeHandle<P: DeterministicProtocol> {
     requests_tx: Sender<(Label, P::Request)>,
     indications_rx: Receiver<(Label, P::Indication)>,
     stop_tx: Sender<()>,
+    metrics_addr: Option<SocketAddr>,
     thread: Option<JoinHandle<Shim<P>>>,
 }
 
@@ -61,6 +80,13 @@ impl<P: DeterministicProtocol> NodeHandle<P> {
     /// The server this node runs as.
     pub fn me(&self) -> ServerId {
         self.me
+    }
+
+    /// The bound address of this node's live metrics endpoint (`None`
+    /// unless [`NodeConfig::metrics_addr`] was set). Scrape it with
+    /// [`dagbft_metrics::scrape`] or any HTTP client.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Submits `request(label, request)` to the node's shim.
@@ -113,7 +139,13 @@ where
     P::Indication: Send,
 {
     let shim: Shim<P> = Shim::new(transport.me(), config, registry)?;
-    Ok(spawn_with_shim(shim, node_config, transport))
+    Ok(spawn_with_shim(
+        shim,
+        node_config,
+        registry.clone(),
+        None,
+        transport,
+    ))
 }
 
 /// Spawns a node with a durable [`BlockStore`]: the shim is **recovered**
@@ -152,12 +184,15 @@ where
     P::Indication: Send,
 {
     let (shim, report) = Shim::recover_from_store(transport.me(), config, registry, store)?;
-    Ok((spawn_with_shim(shim, node_config, transport), report))
+    let handle = spawn_with_shim(shim, node_config, registry.clone(), Some(report), transport);
+    Ok((handle, report))
 }
 
 fn spawn_with_shim<P>(
     mut shim: Shim<P>,
     node_config: NodeConfig,
+    registry: KeyRegistry,
+    recovery: Option<RecoveryReport>,
     transport: TcpTransport,
 ) -> NodeHandle<P>
 where
@@ -171,6 +206,26 @@ where
     let (indications_tx, indications_rx) = unbounded();
     let (stop_tx, stop_rx) = unbounded::<()>();
     let pacing = node_config;
+
+    // The observability side-car: bind the endpoint before the event
+    // loop starts so the caller learns the resolved address, then hand
+    // the server to the loop thread for shutdown. A bind failure is
+    // reported by running without an endpoint rather than killing the
+    // node — metrics must never wedge consensus.
+    let (metrics, metrics_server) = match pacing.metrics_addr {
+        Some(addr) => {
+            let registry_metrics = Arc::new(MetricsRegistry::new());
+            match MetricsServer::serve(registry_metrics.clone(), addr) {
+                Ok(server) => (Some(registry_metrics), Some(server)),
+                Err(_) => (None, None),
+            }
+        }
+        None => (None, None),
+    };
+    let metrics_addr = metrics_server.as_ref().map(MetricsServer::local_addr);
+    if let (Some(metrics), Some(report)) = (metrics.as_ref(), recovery.as_ref()) {
+        publish::publish_recovery(metrics, report);
+    }
 
     let thread = std::thread::spawn(move || {
         let start = Instant::now();
@@ -189,6 +244,9 @@ where
                 let commands = shim.on_tick(now);
                 route(&transport, commands);
                 next_tick = now + pacing.tick_every_ms;
+                if let Some(metrics) = metrics.as_ref() {
+                    publish_node_metrics(metrics, &shim, &transport, &registry, now);
+                }
             }
             for indication in shim.poll_indications() {
                 let _ = indications_tx.send(indication);
@@ -226,6 +284,9 @@ where
                     }
                 }
                 recv(stop_rx) -> _ => {
+                    if let Some(server) = metrics_server {
+                        server.shutdown();
+                    }
                     transport.shutdown();
                     return shim;
                 }
@@ -239,7 +300,45 @@ where
         requests_tx,
         indications_rx,
         stop_tx,
+        metrics_addr,
         thread: Some(thread),
+    }
+}
+
+/// Mirrors every live counter the node owns into the endpoint's
+/// registry: gossip admission, wave/burst shape, interpreter footprint,
+/// crypto totals, store health, per-peer transport traffic, and
+/// node-level liveness gauges. Runs on the tick cadence, off the
+/// admission hot path.
+fn publish_node_metrics<P>(
+    metrics: &MetricsRegistry,
+    shim: &Shim<P>,
+    transport: &TcpTransport,
+    registry: &KeyRegistry,
+    now: TimeMs,
+) where
+    P: DeterministicProtocol,
+{
+    publish::publish_gossip(metrics, shim.gossip().stats());
+    publish::publish_waves(metrics, shim.gossip().wave_stats());
+    publish::publish_footprint(metrics, &shim.footprint());
+    publish::publish_crypto(metrics, registry.metrics());
+    publish::publish_store_health(metrics, shim.store_attached(), shim.store_error().is_some());
+    publish::publish_node(
+        metrics,
+        now,
+        shim.dag().len() as u64,
+        shim.pending_requests() as u64,
+    );
+    for (peer, traffic) in transport.peer_traffic().iter().enumerate() {
+        publish::publish_peer(
+            metrics,
+            peer,
+            traffic.sent_msgs,
+            traffic.sent_bytes,
+            traffic.recv_msgs,
+            traffic.recv_bytes,
+        );
     }
 }
 

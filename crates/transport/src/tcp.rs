@@ -2,7 +2,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -22,6 +22,33 @@ const BACKOFF_MAX: Duration = Duration::from_millis(1_600);
 /// Connect attempts per [`connect_with_hello`] burst (50 → 800 ms sleeps).
 const CONNECT_ATTEMPTS: u32 = 6;
 
+/// Per-peer traffic counters, updated lock-free by the sender and reader
+/// threads. Bytes count the message's canonical wire encoding
+/// (`NetMessage::wire_len`), excluding frame headers — the same currency
+/// the simulator's `NetMetrics` reports, so live and simulated traffic
+/// numbers are comparable.
+#[derive(Debug, Default)]
+struct PeerTraffic {
+    sent_msgs: AtomicU64,
+    sent_bytes: AtomicU64,
+    recv_msgs: AtomicU64,
+    recv_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of one peer's [`TcpTransport`] traffic counters
+/// (see [`TcpTransport::peer_traffic`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerTrafficSnapshot {
+    /// Messages successfully written to this peer.
+    pub sent_msgs: u64,
+    /// Wire bytes of those messages.
+    pub sent_bytes: u64,
+    /// Messages received from this peer.
+    pub recv_msgs: u64,
+    /// Wire bytes of those messages.
+    pub recv_bytes: u64,
+}
+
 /// A TCP transport endpoint for one server.
 ///
 /// Owns an accept loop, one reader thread per inbound connection, and one
@@ -36,6 +63,7 @@ pub struct TcpTransport {
     local_addr: SocketAddr,
     outboxes: Vec<Sender<NetMessage>>,
     incoming_rx: Receiver<(ServerId, NetMessage)>,
+    traffic: Arc<Vec<PeerTraffic>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -53,14 +81,17 @@ impl TcpTransport {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let (incoming_tx, incoming_rx) = unbounded();
+        let traffic: Arc<Vec<PeerTraffic>> =
+            Arc::new((0..peers.len()).map(|_| PeerTraffic::default()).collect());
         let mut threads = Vec::new();
 
         // Accept loop: spawns a reader thread per connection.
         {
             let shutdown = shutdown.clone();
             let incoming_tx = incoming_tx.clone();
+            let traffic = traffic.clone();
             threads.push(std::thread::spawn(move || {
-                accept_loop(listener, incoming_tx, shutdown);
+                accept_loop(listener, incoming_tx, traffic, shutdown);
             }));
         }
 
@@ -74,8 +105,9 @@ impl TcpTransport {
             }
             let peer = *peer;
             let shutdown = shutdown.clone();
+            let traffic = traffic.clone();
             threads.push(std::thread::spawn(move || {
-                sender_loop(me, peer, rx, shutdown);
+                sender_loop(me, index, peer, rx, traffic, shutdown);
             }));
         }
 
@@ -84,6 +116,7 @@ impl TcpTransport {
             local_addr,
             outboxes,
             incoming_rx,
+            traffic,
             shutdown,
             threads,
         })
@@ -124,6 +157,22 @@ impl TcpTransport {
         &self.incoming_rx
     }
 
+    /// Point-in-time per-peer traffic counters, indexed by server id (the
+    /// own slot stays zero). Readable from any thread while the transport
+    /// runs — this is what the node event loop publishes to the metrics
+    /// endpoint as `peer<i>_*`.
+    pub fn peer_traffic(&self) -> Vec<PeerTrafficSnapshot> {
+        self.traffic
+            .iter()
+            .map(|peer| PeerTrafficSnapshot {
+                sent_msgs: peer.sent_msgs.load(Ordering::Relaxed),
+                sent_bytes: peer.sent_bytes.load(Ordering::Relaxed),
+                recv_msgs: peer.recv_msgs.load(Ordering::Relaxed),
+                recv_bytes: peer.recv_bytes.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
     /// Stops all transport threads and waits for them.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -144,6 +193,7 @@ impl Drop for TcpTransport {
 fn accept_loop(
     listener: TcpListener,
     incoming_tx: Sender<(ServerId, NetMessage)>,
+    traffic: Arc<Vec<PeerTraffic>>,
     shutdown: Arc<AtomicBool>,
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
@@ -152,8 +202,9 @@ fn accept_loop(
             Ok((stream, _)) => {
                 let incoming_tx = incoming_tx.clone();
                 let shutdown = shutdown.clone();
+                let traffic = traffic.clone();
                 readers.push(std::thread::spawn(move || {
-                    reader_loop(stream, incoming_tx, shutdown);
+                    reader_loop(stream, incoming_tx, traffic, shutdown);
                 }));
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
@@ -170,6 +221,7 @@ fn accept_loop(
 fn reader_loop(
     stream: TcpStream,
     incoming_tx: Sender<(ServerId, NetMessage)>,
+    traffic: Arc<Vec<PeerTraffic>>,
     shutdown: Arc<AtomicBool>,
 ) {
     let mut stream = stream;
@@ -194,6 +246,11 @@ fn reader_loop(
         });
         match received {
             Some(message) => {
+                if let Some(peer) = traffic.get(from.index()) {
+                    peer.recv_msgs.fetch_add(1, Ordering::Relaxed);
+                    peer.recv_bytes
+                        .fetch_add(message.wire_len() as u64, Ordering::Relaxed);
+                }
                 if incoming_tx.send((from, message)).is_err() {
                     return;
                 }
@@ -228,8 +285,10 @@ fn read_retry<T>(
 
 fn sender_loop(
     me: ServerId,
+    peer_index: usize,
     peer: SocketAddr,
     outbox: Receiver<NetMessage>,
+    traffic: Arc<Vec<PeerTraffic>>,
     shutdown: Arc<AtomicBool>,
 ) {
     let mut connection: Option<TcpStream> = None;
@@ -257,18 +316,29 @@ fn sender_loop(
         }
         // The zero-copy write path: a block's cached wire bytes stream
         // straight into the frame, no per-send re-encode.
+        let mut written = false;
         if let Some(stream) = connection.as_mut() {
-            if write_net_message(stream, &message).is_err() {
+            written = write_net_message(stream, &message).is_ok();
+            if !written {
                 // Reconnect once and retry this message.
                 connection = connect_with_hello(me, peer, &shutdown);
                 if let Some(stream) = connection.as_mut() {
-                    if write_net_message(stream, &message).is_err() {
+                    written = write_net_message(stream, &message).is_ok();
+                    if !written {
                         connection = None;
                     }
                 }
                 if connection.is_none() {
                     down_until = Some(std::time::Instant::now() + BACKOFF_MAX);
                 }
+            }
+        }
+        if written {
+            if let Some(counters) = traffic.get(peer_index) {
+                counters.sent_msgs.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .sent_bytes
+                    .fetch_add(message.wire_len() as u64, Ordering::Relaxed);
             }
         }
     }

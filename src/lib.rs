@@ -18,6 +18,7 @@
 //! | [`protocols`] | deterministic `P`s: BRB, consistent broadcast, PBFT-lite SMR, payments |
 //! | [`sim`] | discrete-event network, byzantine adversaries, metrics |
 //! | [`store`] | durable block journal: checksummed records, crash recovery, snapshots |
+//! | [`metrics`] | live observability: metrics registry, JSON snapshots, HTTP endpoint |
 //! | [`baseline`] | the direct point-to-point comparator deployment |
 //! | [`transport`] | real TCP transport (threads, framing) for live clusters |
 //! | [`crypto`] | SHA-256, HMAC signatures, identities |
@@ -56,6 +57,7 @@ pub use dagbft_baseline as baseline;
 pub use dagbft_codec as codec;
 pub use dagbft_core as dag;
 pub use dagbft_crypto as crypto;
+pub use dagbft_metrics as metrics;
 pub use dagbft_protocols as protocols;
 pub use dagbft_sim as sim;
 pub use dagbft_store as store;

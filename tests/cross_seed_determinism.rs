@@ -12,10 +12,9 @@
 
 use dagbft::prelude::*;
 
-/// Runs one BRB workload (three broadcasts across servers, lossy
-/// network) under the given admission engine and signature scheme, and
-/// fingerprints everything observable about the outcome.
-fn run_fingerprint_scheme(seed: u64, admission: AdmissionMode, scheme: SchemeKind) -> Vec<u8> {
+/// Runs the standard lossy BRB workload (three broadcasts across
+/// servers) under the given admission engine and signature scheme.
+fn run_outcome(seed: u64, admission: AdmissionMode, scheme: SchemeKind) -> SimOutcome<Brb<u64>> {
     let n = 4;
     let values = [7u64, 1000 + seed, 13];
     let expected = values.len() * n;
@@ -37,7 +36,12 @@ fn run_fingerprint_scheme(seed: u64, admission: AdmissionMode, scheme: SchemeKin
     }
     let outcome = sim.run();
     assert_eq!(outcome.deliveries.len(), expected, "seed {seed} delivered");
+    outcome
+}
 
+/// Fingerprints everything observable about one run's outcome.
+fn run_fingerprint_scheme(seed: u64, admission: AdmissionMode, scheme: SchemeKind) -> Vec<u8> {
+    let outcome = run_outcome(seed, admission, scheme);
     let mut fingerprint = Vec::new();
     for delivery in &outcome.deliveries {
         fingerprint.extend_from_slice(
@@ -174,6 +178,64 @@ fn ed25519_engines_byte_identical_and_schedule_matches_hmac() {
         assert_ne!(
             index, hmac,
             "seed {seed}: schemes produced identical block bytes"
+        );
+    }
+}
+
+/// Publishes the mode- and scheme-*independent* observables of a
+/// finished run into a fresh metrics registry — server 0's gossip
+/// admission counters and interpreter footprint, plus the global
+/// sign/verify totals — and returns the JSON snapshot. Deliberately
+/// excludes wave stats and the batched/burst crypto counters: those are
+/// implementation properties of the batched engines (the scan oracle
+/// leaves them zero) and are pinned by the fingerprint tests instead.
+fn metrics_snapshot(seed: u64, admission: AdmissionMode, scheme: SchemeKind) -> String {
+    use dagbft::metrics::{publish, MetricsRegistry};
+    let outcome = run_outcome(seed, admission, scheme);
+    let shim = outcome.shim(0);
+    let registry = MetricsRegistry::new();
+    publish::publish_gossip(&registry, shim.gossip().stats());
+    publish::publish_footprint(&registry, &shim.footprint());
+    registry.set_counter("crypto_signs", outcome.signatures);
+    registry.set_counter("crypto_verifies", outcome.verifications);
+    registry.set_counter("deliveries", outcome.deliveries.len() as u64);
+    registry.set_gauge("finished_at_ms", outcome.finished_at);
+    registry.snapshot_json()
+}
+
+#[test]
+fn metrics_snapshot_is_mode_and_scheme_independent() {
+    // The observability layer must not leak the admission engine or the
+    // signature scheme: for one seed, the published snapshot of
+    // engine-independent counters is byte-identical across all three
+    // admission modes and across HMAC vs real ed25519 — so operators can
+    // compare metrics between heterogeneous deployments, and a future
+    // engine that moves these counters fails loudly here.
+    for seed in [0, 42] {
+        let base = metrics_snapshot(seed, AdmissionMode::Index, SchemeKind::Hmac);
+        assert_eq!(
+            base,
+            metrics_snapshot(seed, AdmissionMode::Index, SchemeKind::Hmac),
+            "seed {seed}: same run, different snapshot bytes"
+        );
+        assert_eq!(
+            base,
+            metrics_snapshot(seed, AdmissionMode::Scan, SchemeKind::Hmac),
+            "seed {seed}: scan moved the published counters"
+        );
+        assert_eq!(
+            base,
+            metrics_snapshot(
+                seed,
+                AdmissionMode::Parallel { workers: 2 },
+                SchemeKind::Hmac
+            ),
+            "seed {seed}: the worker pool leaked into the snapshot"
+        );
+        assert_eq!(
+            base,
+            metrics_snapshot(seed, AdmissionMode::Index, SchemeKind::Ed25519),
+            "seed {seed}: the signature scheme leaked into the snapshot"
         );
     }
 }
