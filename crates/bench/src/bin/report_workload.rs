@@ -530,6 +530,15 @@ fn registry_universe(offline: &MetricsRegistry) -> BTreeSet<String> {
     publish::publish_store_health(offline, false, false);
     publish::publish_peer(offline, 1, 0, 0, 0, 0);
     publish::publish_node(offline, 0, 0, 0);
+    // The defense publisher only emits per-peer rows for touched peers,
+    // so touch one to surface the full `peer<i>_*` defense family.
+    let mut defense = dagbft_core::PeerDefense::new(dagbft_core::DefenseConfig::enabled());
+    defense.note_offense(
+        dagbft_crypto::ServerId::new(1),
+        dagbft_core::Offense::DuplicateFlood,
+        0,
+    );
+    publish::publish_defense(offline, &defense, 0);
     // Registered by the HTTP responder itself on first request.
     offline.counter("metrics_http_requests");
     offline.field_names()

@@ -99,6 +99,7 @@ use dagbft_crypto::{BatchVerifier, ServerId, SignedDigest, Signer, Verifier};
 
 use crate::block::{Block, BlockRef, LabeledRequest, SeqNum};
 use crate::dag::BlockDag;
+use crate::defense::{AdmitVerdict, DefenseConfig, Offense, PeerDefense};
 use crate::error::InvalidBlockError;
 use crate::TimeMs;
 
@@ -220,6 +221,9 @@ pub struct GossipConfig {
     /// Maximum number of buffered, not-yet-valid blocks; exceeding it
     /// triggers deterministic eviction (see the module docs).
     pub pending_cap: usize,
+    /// The adversarial peer-defense engine (scoring, rate limits, bans;
+    /// disabled by default — see [`crate::defense`]).
+    pub defense: DefenseConfig,
 }
 
 impl GossipConfig {
@@ -231,6 +235,7 @@ impl GossipConfig {
             fwd_retry_ms: 100,
             admission: AdmissionMode::default(),
             pending_cap: DEFAULT_PENDING_CAP,
+            defense: DefenseConfig::default(),
         }
     }
 
@@ -243,6 +248,12 @@ impl GossipConfig {
     /// Bounds the pending buffer (must be at least 1).
     pub fn with_pending_cap(mut self, cap: usize) -> Self {
         self.pending_cap = cap.max(1);
+        self
+    }
+
+    /// Configures the peer-defense engine.
+    pub fn with_defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = defense;
         self
     }
 }
@@ -284,10 +295,22 @@ struct FwdState {
     attempts: u32,
 }
 
+/// Eviction rank of a pending block known never-promotable (references a
+/// rejected block, transitively) — evicted first.
+const RANK_STRANDED: u8 = 0;
+/// Eviction rank of a block claiming a deprioritized (caught-equivocating)
+/// builder — evicted before honest backlog.
+const RANK_DEPRIORITIZED: u8 = 1;
+/// Eviction rank of an ordinary pending block — evicted last, oldest first.
+const RANK_NORMAL: u8 = 2;
+
 /// A buffered, not-yet-valid block plus its admission bookkeeping.
 #[derive(Debug, Clone)]
 struct PendingBlock {
     block: Block,
+    /// The peer that delivered the block (for offense attribution — the
+    /// claimed builder is unauthenticated until the signature verifies).
+    from: ServerId,
     /// Predecessors not yet in the DAG (maintained by the index engines;
     /// the scan engine recomputes promotability from the DAG).
     missing: BTreeSet<BlockRef>,
@@ -295,10 +318,13 @@ struct PendingBlock {
     /// by ("oldest never-promotable first").
     arrival: u64,
     /// Whether the block is known never-promotable (references a
-    /// rejected block, transitively). This flag *is* the block's
-    /// eviction-queue rank: every re-rank updates both together, so the
-    /// queue key can always be reconstructed exactly.
+    /// rejected block, transitively).
     stranded: bool,
+    /// The block's current eviction-queue rank ([`RANK_STRANDED`] /
+    /// [`RANK_DEPRIORITIZED`] / [`RANK_NORMAL`]). Every re-rank updates
+    /// this together with the queue, so the queue key can always be
+    /// reconstructed exactly.
+    rank: u8,
 }
 
 /// Accountability record for one pending-buffer eviction.
@@ -671,14 +697,21 @@ pub struct Gossip {
     /// Receipt ordinal source for [`PendingBlock::arrival`].
     arrivals: u64,
     /// Eviction order over the pending buffer:
-    /// `(not_stranded, arrival, ref)` — known-stranded blocks (a rejected
-    /// predecessor) sort first, then oldest arrival. Kept in lockstep
-    /// with `pending` so enforcing the cap is O(log) per block.
-    eviction_queue: BTreeSet<(bool, u64, BlockRef)>,
+    /// `(rank, arrival, ref)` — known-stranded blocks (a rejected
+    /// predecessor) sort first, then blocks of deprioritized builders,
+    /// then oldest arrival. Kept in lockstep with `pending` so enforcing
+    /// the cap is O(log) per block.
+    eviction_queue: BTreeSet<(u8, u64, BlockRef)>,
     /// Accountability log of cap evictions, in eviction order.
     evictions: Vec<EvictionEvent>,
     /// `Some` while inside a `begin_burst()`/`end_burst()` bracket.
     burst: Option<BurstState>,
+    /// The adversarial peer-defense engine (see [`crate::defense`]).
+    defense: PeerDefense,
+    /// Logical time of the last timed entry point — what interior paths
+    /// (settling, eviction) stamp defense offenses with, since they have
+    /// no `now` parameter of their own.
+    clock: TimeMs,
 }
 
 /// State accumulated inside a deferred-admission bracket.
@@ -725,6 +758,8 @@ impl Gossip {
             eviction_queue: BTreeSet::new(),
             evictions: Vec::new(),
             burst: None,
+            defense: PeerDefense::new(config.defense),
+            clock: 0,
         }
     }
 
@@ -791,7 +826,7 @@ impl Gossip {
             }
         }
         let (batch_verifier, pool) = Self::verification_engine(config.admission, &verifier);
-        Gossip {
+        let mut gossip = Gossip {
             me,
             config,
             signer,
@@ -812,7 +847,34 @@ impl Gossip {
             eviction_queue: BTreeSet::new(),
             evictions: Vec::new(),
             burst: None,
+            defense: PeerDefense::new(config.defense),
+            clock: 0,
+        };
+        // Re-derive the durable score component from the recovered DAG:
+        // every equivocation provable from `G` before the crash is
+        // provable from it now (`recovery::persist_dag` round-trips the
+        // whole DAG), so convicted builders stay deprioritized across
+        // restarts. The volatile component is intentionally transient —
+        // it models resource pressure on *this* process, which a restart
+        // resets.
+        let seeds: Vec<(ServerId, u64)> = gossip
+            .dag
+            .known_servers()
+            .filter(|server| **server != me)
+            .map(|server| {
+                let extra: u64 = gossip
+                    .dag
+                    .equivocations(*server)
+                    .iter()
+                    .map(|(_, refs)| (refs.len() - 1) as u64)
+                    .sum();
+                (*server, extra)
+            })
+            .collect();
+        for (server, count) in seeds {
+            gossip.defense.seed_equivocations(server, count, 0);
         }
+        gossip
     }
 
     /// The server this instance runs as.
@@ -852,6 +914,26 @@ impl Gossip {
         &self.evictions
     }
 
+    /// The peer-defense engine: scores, bans, and the `DefenseEvent`
+    /// audit trail (inert unless [`GossipConfig::defense`] enables it).
+    pub fn defense(&self) -> &PeerDefense {
+        &self.defense
+    }
+
+    /// Reports `count` malformed frames from `peer` (fed by the
+    /// transport's decode-error counters — a wire-level offense the
+    /// gossip layer cannot observe itself).
+    pub fn note_malformed_frames(&mut self, peer: ServerId, count: u64, now: TimeMs) {
+        self.clock = self.clock.max(now);
+        if peer == self.me {
+            return;
+        }
+        for _ in 0..count {
+            self.defense
+                .note_offense(peer, Offense::MalformedFrame, now);
+        }
+    }
+
     /// Sequence number the next disseminated block will carry.
     pub fn next_seq(&self) -> SeqNum {
         self.next_seq
@@ -866,8 +948,16 @@ impl Gossip {
         now: TimeMs,
     ) -> Vec<NetCommand> {
         match message {
-            NetMessage::Block(block) => self.on_block(block, now),
-            NetMessage::FwdRequest(block_ref) => self.on_fwd_request(from, block_ref),
+            NetMessage::Block(block) => self.on_block_from(from, block, now),
+            NetMessage::FwdRequest(block_ref) => {
+                // A banned peer's FWD requests are dropped too: answering
+                // would hand it a block-sized reply per tiny request — an
+                // amplification channel the ban exists to close.
+                if self.defense.is_banned(from, now) {
+                    return Vec::new();
+                }
+                self.on_fwd_request(from, block_ref)
+            }
         }
     }
 
@@ -878,33 +968,66 @@ impl Gossip {
     /// verification, cap enforcement, and `FWD` emission are deferred to
     /// [`Gossip::end_burst`].
     pub fn on_block(&mut self, block: Block, now: TimeMs) -> Vec<NetCommand> {
+        let from = block.builder();
+        self.on_block_from(from, block, now)
+    }
+
+    /// [`Gossip::on_block`] with the delivering peer identified — the
+    /// entry point the defense layer gates. `from` is the transport-level
+    /// sender (authenticated by the connection), *not* the claimed
+    /// builder: offenses that precede signature verification (floods,
+    /// duplicates, junk) are charged to the deliverer, since a forged
+    /// builder field must not let an attacker frame an honest server.
+    pub fn on_block_from(&mut self, from: ServerId, block: Block, now: TimeMs) -> Vec<NetCommand> {
+        self.clock = self.clock.max(now);
+        if from != self.me {
+            match self.defense.admit_block(from, block.wire_len() as u64, now) {
+                AdmitVerdict::Admit => {}
+                // Dropped before any hashing or verification: throttled
+                // blocks are recoverable later via FWD; banned peers'
+                // blocks are not wanted at all until the ban lapses.
+                AdmitVerdict::Throttle | AdmitVerdict::Ban => return Vec::new(),
+            }
+        }
         self.stats.blocks_received += 1;
         let block_ref = block.block_ref();
         if self.dag.contains(&block_ref) || self.pending.contains_key(&block_ref) {
             self.stats.duplicate_blocks += 1;
+            self.penalize(from, Offense::DuplicateFlood);
             return Vec::new();
         }
         if self.burst.is_some() {
-            self.buffer_for_burst(block_ref, block);
+            self.buffer_for_burst(from, block_ref, block);
             return Vec::new();
         }
         match self.config.admission {
             AdmissionMode::Index | AdmissionMode::Parallel { .. } => {
-                self.admit_indexed(block_ref, block)
+                self.admit_indexed(from, block_ref, block)
             }
             AdmissionMode::Scan => {
-                self.insert_pending(block_ref, block, BTreeSet::new());
+                self.insert_pending(from, block_ref, block, BTreeSet::new());
                 self.promote_pending_scan();
                 self.refresh_missing_scan();
             }
         }
-        if self.enforce_pending_cap() > 0 && self.config.admission == AdmissionMode::Scan {
+        let evicted = self.enforce_pending_cap() + self.enforce_deprioritized_allowance();
+        if evicted > 0 && self.config.admission == AdmissionMode::Scan {
             // Eviction changed the pending set; rebuild the FWD index the
             // scan way so traffic matches the index engines' inline
             // bookkeeping.
             self.refresh_missing_scan();
         }
         self.collect_fwd_commands(now)
+    }
+
+    /// Charges one offense to `peer` at the current logical clock (no-op
+    /// for our own actions and while the defense is disabled).
+    fn penalize(&mut self, peer: ServerId, offense: Offense) {
+        if peer == self.me {
+            return;
+        }
+        let clock = self.clock;
+        self.defense.note_offense(peer, offense, clock);
     }
 
     /// Opens a deferred-admission bracket: subsequent
@@ -929,6 +1052,7 @@ impl Gossip {
     ///
     /// Panics if no bracket is open.
     pub fn end_burst(&mut self, now: TimeMs) -> Vec<NetCommand> {
+        self.clock = self.clock.max(now);
         let burst = self.burst.take().expect("no admission burst open");
         // Nothing new arrived (duplicates, FWD requests): nothing can
         // have become ready, so skip promotion entirely — a duplicate
@@ -950,7 +1074,8 @@ impl Gossip {
         self.batch_verifier.note_burst(verified);
         self.wave_stats.bursts += 1;
         self.wave_stats.burst_blocks += burst.arrived.len() as u64;
-        if self.enforce_pending_cap() > 0 && self.config.admission == AdmissionMode::Scan {
+        let evicted = self.enforce_pending_cap() + self.enforce_deprioritized_allowance();
+        if evicted > 0 && self.config.admission == AdmissionMode::Scan {
             self.refresh_missing_scan();
         }
         self.collect_fwd_commands(now)
@@ -992,12 +1117,12 @@ impl Gossip {
     /// no verification, no promotion, and (unlike per-message indexing)
     /// no per-predecessor bookkeeping. The whole burst's dependency
     /// analysis happens once, in [`Gossip::end_burst`]'s single pass.
-    fn buffer_for_burst(&mut self, block_ref: BlockRef, block: Block) {
+    fn buffer_for_burst(&mut self, from: ServerId, block_ref: BlockRef, block: Block) {
         // The block is no longer wanted from the network (the FWD view
         // is rebuilt wholesale at `end_burst`; dropping the entry early
         // keeps the map small).
         self.missing.remove(&block_ref);
-        self.insert_pending(block_ref, block, BTreeSet::new());
+        self.insert_pending(from, block_ref, block, BTreeSet::new());
         self.burst
             .as_mut()
             .expect("bracket open")
@@ -1025,6 +1150,7 @@ impl Gossip {
     /// Periodic timer: re-issues `FWD` requests whose retry interval has
     /// elapsed.
     pub fn on_tick(&mut self, now: TimeMs) -> Vec<NetCommand> {
+        self.clock = self.clock.max(now);
         self.collect_fwd_commands(now)
     }
 
@@ -1058,8 +1184,8 @@ impl Gossip {
     /// promote it — and cascade through its waiters — if none are
     /// missing. Equivalent to the scan engine (see `promote_pending_scan`)
     /// but costs O(preds · log) per block instead of a full-buffer rescan.
-    fn admit_indexed(&mut self, block_ref: BlockRef, block: Block) {
-        if self.index_block(block_ref, block) {
+    fn admit_indexed(&mut self, from: ServerId, block_ref: BlockRef, block: Block) {
+        if self.index_block(from, block_ref, block) {
             self.promote_cascade(block_ref);
         }
     }
@@ -1067,7 +1193,7 @@ impl Gossip {
     /// Buffers `block` and indexes its missing predecessors (reverse
     /// dependency index plus `FWD` bookkeeping); returns whether the
     /// block is immediately ready for promotion.
-    fn index_block(&mut self, block_ref: BlockRef, block: Block) -> bool {
+    fn index_block(&mut self, from: ServerId, block_ref: BlockRef, block: Block) -> bool {
         // The block is no longer wanted from the network: it is now either
         // pending (indexed below) or about to be promoted.
         self.missing.remove(&block_ref);
@@ -1095,24 +1221,39 @@ impl Gossip {
                     });
             }
         }
-        self.insert_pending(block_ref, block, missing);
+        self.insert_pending(from, block_ref, block, missing);
         ready
     }
 
     /// Inserts a block into the pending buffer, stamping its arrival and
     /// mirroring it into the eviction queue.
-    fn insert_pending(&mut self, block_ref: BlockRef, block: Block, missing: BTreeSet<BlockRef>) {
+    fn insert_pending(
+        &mut self,
+        from: ServerId,
+        block_ref: BlockRef,
+        block: Block,
+        missing: BTreeSet<BlockRef>,
+    ) {
         let arrival = self.arrivals;
         self.arrivals += 1;
         let stranded = block.preds().iter().any(|p| self.stranded_refs.contains(p));
-        self.eviction_queue.insert((!stranded, arrival, block_ref));
+        let rank = if stranded {
+            RANK_STRANDED
+        } else if self.defense.is_deprioritized(block.builder()) {
+            RANK_DEPRIORITIZED
+        } else {
+            RANK_NORMAL
+        };
+        self.eviction_queue.insert((rank, arrival, block_ref));
         self.pending.insert(
             block_ref,
             PendingBlock {
                 block,
+                from,
                 missing,
                 arrival,
                 stranded,
+                rank,
             },
         );
         self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len());
@@ -1132,12 +1273,12 @@ impl Gossip {
     }
 
     /// Removes a block from the pending buffer and the eviction queue
-    /// (the stored `stranded` flag reconstructs the queue key exactly).
+    /// (the stored `rank` reconstructs the queue key exactly).
     fn take_pending(&mut self, block_ref: &BlockRef) -> PendingBlock {
         let entry = self.pending.remove(block_ref).expect("block pending");
         let removed = self
             .eviction_queue
-            .remove(&(!entry.stranded, entry.arrival, *block_ref));
+            .remove(&(entry.rank, entry.arrival, *block_ref));
         debug_assert!(removed, "eviction queue mirrors pending");
         entry
     }
@@ -1184,9 +1325,13 @@ impl Gossip {
         verdict: Option<bool>,
         unlocked: &mut BTreeSet<BlockRef>,
     ) {
+        let builder = entry.block.builder();
+        let seq = entry.block.seq();
+        let from = entry.from;
         match self.validate_with(&entry.block, verdict) {
             Validity::Valid => {
                 self.dag.insert(entry.block).expect("preds checked");
+                self.note_admitted(builder, seq);
                 // Line 8: B.preds := B.preds · [ref(B')]. Appending once
                 // per block is Lemma A.6 (correct servers reference a
                 // block at most once).
@@ -1208,6 +1353,7 @@ impl Gossip {
             }
             Validity::Invalid(reason) => {
                 self.record_rejection(block_ref, reason);
+                self.penalize(from, Offense::InvalidBlock);
                 self.missing.remove(&block_ref);
                 // Blocks referencing the rejected block keep waiting
                 // (its ref can never enter the DAG); it counts as
@@ -1268,10 +1414,53 @@ impl Gossip {
         }
         pending.stranded = true;
         let arrival = pending.arrival;
-        self.eviction_queue.remove(&(true, arrival, block_ref));
-        self.eviction_queue.insert((false, arrival, block_ref));
+        let old_rank = pending.rank;
+        pending.rank = RANK_STRANDED;
+        self.eviction_queue.remove(&(old_rank, arrival, block_ref));
+        self.eviction_queue
+            .insert((RANK_STRANDED, arrival, block_ref));
         self.stranded_refs.insert(block_ref);
         true
+    }
+
+    /// Re-ranks every normally ranked pending block of a freshly
+    /// deprioritized builder to [`RANK_DEPRIORITIZED`] — called once, on
+    /// the builder's first proven equivocation, so the eviction queue and
+    /// the stored ranks stay exact under mid-life transitions.
+    fn requeue_builder(&mut self, builder: ServerId) {
+        let refs: Vec<(u64, BlockRef)> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.rank == RANK_NORMAL && p.block.builder() == builder)
+            .map(|(r, p)| (p.arrival, *r))
+            .collect();
+        for (arrival, block_ref) in refs {
+            self.eviction_queue
+                .remove(&(RANK_NORMAL, arrival, block_ref));
+            self.eviction_queue
+                .insert((RANK_DEPRIORITIZED, arrival, block_ref));
+            self.pending
+                .get_mut(&block_ref)
+                .expect("iterating live refs")
+                .rank = RANK_DEPRIORITIZED;
+        }
+    }
+
+    /// Post-admission equivocation check: if `builder` now has more than
+    /// one block at `seq`, that is a proof of equivocation (Figure 3) —
+    /// charge the durable offense and, on the first conviction, re-rank
+    /// the builder's buffered blocks.
+    fn note_admitted(&mut self, builder: ServerId, seq: SeqNum) {
+        if !self.defense.is_enabled() || builder == self.me {
+            return;
+        }
+        if self.dag.blocks_at(builder, seq).len() > 1 {
+            let first_conviction = !self.defense.is_deprioritized(builder);
+            self.penalize(builder, Offense::Equivocation);
+            if first_conviction {
+                self.requeue_builder(builder);
+            }
+        }
     }
 
     /// Marks `root` — and, transitively, every buffered block referencing
@@ -1499,18 +1688,27 @@ impl Gossip {
     }
 
     /// Sorts a ready frontier into the canonical burst wave order,
-    /// `(builder, seq, ref)` — same-builder runs become contiguous, which
-    /// keys the verifier's per-server schedules coherently.
+    /// `(deprioritized, builder, seq, ref)` — same-builder runs become
+    /// contiguous, which keys the verifier's per-server schedules
+    /// coherently, and builders with a proven equivocation admit after
+    /// every honest block of the wave (the leading key is `0` for all
+    /// blocks while the defense is disabled).
     fn wave_order(&self, refs: BTreeSet<BlockRef>) -> Vec<BlockRef> {
-        let mut wave: Vec<(usize, u64, BlockRef)> = refs
+        let mut wave: Vec<(u8, usize, u64, BlockRef)> = refs
             .into_iter()
             .map(|r| {
                 let block = &self.pending[&r].block;
-                (block.builder().index(), block.seq().value(), r)
+                let builder = block.builder();
+                (
+                    self.defense.is_deprioritized(builder) as u8,
+                    builder.index(),
+                    block.seq().value(),
+                    r,
+                )
             })
             .collect();
         wave.sort_unstable();
-        wave.into_iter().map(|(_, _, r)| r).collect()
+        wave.into_iter().map(|(_, _, _, r)| r).collect()
     }
 
     /// Verifies one burst wave (already in canonical order) and settles
@@ -1573,9 +1771,13 @@ impl Gossip {
         counts: &mut HashMap<BlockRef, usize>,
         unlocked: &mut BTreeSet<BlockRef>,
     ) {
+        let builder = entry.block.builder();
+        let seq = entry.block.seq();
+        let from = entry.from;
         match self.validate_with(&entry.block, verdict) {
             Validity::Valid => {
                 self.dag.insert(entry.block).expect("preds checked");
+                self.note_admitted(builder, seq);
                 self.current_preds.push(block_ref);
                 self.stats.blocks_validated += 1;
                 for waiter in adjacency.remove(&block_ref).unwrap_or_default() {
@@ -1590,6 +1792,7 @@ impl Gossip {
             }
             Validity::Invalid(reason) => {
                 self.note_rejection(block_ref, reason);
+                self.penalize(from, Offense::InvalidBlock);
                 // Everything transitively referencing the rejection is
                 // never-promotable: mark along the burst adjacency (the
                 // waiters map is stale mid-bracket; the FWD re-listing
@@ -1631,15 +1834,20 @@ impl Gossip {
             }
             for block_ref in wave {
                 let entry = self.take_pending(&block_ref);
+                let builder = entry.block.builder();
+                let seq = entry.block.seq();
+                let from = entry.from;
                 match self.validate(&entry.block) {
                     Validity::Valid => {
                         self.dag.insert(entry.block).expect("preds checked");
+                        self.note_admitted(builder, seq);
                         self.current_preds.push(block_ref);
                         self.stats.blocks_validated += 1;
                         self.missing.remove(&block_ref);
                     }
                     Validity::Invalid(reason) => {
                         self.record_rejection(block_ref, reason);
+                        self.penalize(from, Offense::InvalidBlock);
                         self.missing.remove(&block_ref);
                     }
                     Validity::MissingPreds => {
@@ -1673,15 +1881,20 @@ impl Gossip {
                 return;
             };
             let entry = self.take_pending(&block_ref);
+            let builder = entry.block.builder();
+            let seq = entry.block.seq();
+            let from = entry.from;
             match self.validate(&entry.block) {
                 Validity::Valid => {
                     self.dag.insert(entry.block).expect("preds checked");
+                    self.note_admitted(builder, seq);
                     self.current_preds.push(block_ref);
                     self.stats.blocks_validated += 1;
                     self.missing.remove(&block_ref);
                 }
                 Validity::Invalid(reason) => {
                     self.record_rejection(block_ref, reason);
+                    self.penalize(from, Offense::InvalidBlock);
                     self.missing.remove(&block_ref);
                 }
                 Validity::MissingPreds => {
@@ -1705,12 +1918,52 @@ impl Gossip {
         evicted
     }
 
+    /// Shrinks the pending footprint of deprioritized (caught
+    /// equivocating) builders to
+    /// [`DefenseConfig::deprioritized_allowance`] slots each, evicting
+    /// oldest-first — a convicted flooder cannot hold honest blocks'
+    /// buffer space hostage while it waits out its ban. Returns the
+    /// number of blocks evicted.
+    fn enforce_deprioritized_allowance(&mut self) -> usize {
+        if !self.defense.is_enabled() || !self.defense.any_deprioritized() {
+            return 0;
+        }
+        let allowance = self.defense.config().deprioritized_allowance;
+        let mut per_builder: BTreeMap<ServerId, Vec<(u64, BlockRef)>> = BTreeMap::new();
+        for (block_ref, pending) in &self.pending {
+            let builder = pending.block.builder();
+            if self.defense.is_deprioritized(builder) {
+                per_builder
+                    .entry(builder)
+                    .or_default()
+                    .push((pending.arrival, *block_ref));
+            }
+        }
+        let mut evicted = 0;
+        for (_, mut entries) in per_builder {
+            if entries.len() <= allowance {
+                continue;
+            }
+            entries.sort_unstable();
+            let excess = entries.len() - allowance;
+            for (_, victim) in entries.into_iter().take(excess) {
+                self.evict_pending(victim);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
     /// Evicts one pending block: un-indexes it, logs the accountability
     /// event, and re-lists its reference as missing for any surviving
     /// waiters so the `FWD` path can re-fetch it.
     fn evict_pending(&mut self, victim: BlockRef) {
         let entry = self.take_pending(&victim);
         self.stats.blocks_evicted += 1;
+        // Charged to the deliverer, not the claimed builder: unverified
+        // junk naming an honest builder must not damage that builder's
+        // standing (the signature was never checked).
+        self.penalize(entry.from, Offense::Eviction);
         let stranded_on = entry
             .stranded
             .then(|| {

@@ -59,6 +59,7 @@
 pub mod accountability;
 pub mod block;
 pub mod dag;
+pub mod defense;
 pub mod digraph;
 mod error;
 pub mod gossip;
@@ -73,6 +74,10 @@ pub mod store;
 pub use accountability::EquivocationProof;
 pub use block::{Block, BlockRef, LabeledRequest, SeqNum};
 pub use dag::BlockDag;
+pub use defense::{
+    AdmitVerdict, DefenseConfig, DefenseEvent, DefenseStats, Offense, PeerDefense,
+    PeerScoreSnapshot,
+};
 pub use error::{DagError, InvalidBlockError};
 pub use gossip::{
     AdmissionMode, EvictionEvent, Gossip, GossipConfig, GossipStats, NetCommand, NetMessage,

@@ -31,6 +31,7 @@ use dagbft_crypto::{KeyRegistry, ServerId};
 
 use crate::block::{BlockRef, LabeledRequest, SeqNum};
 use crate::dag::BlockDag;
+use crate::defense::DefenseConfig;
 use crate::gossip::{AdmissionMode, Gossip, GossipConfig, NetCommand, NetMessage};
 use crate::interpret::{Indication, Interpreter, InterpreterFootprint};
 use crate::label::Label;
@@ -53,6 +54,9 @@ pub struct ShimConfig {
     /// Bound on gossip's pending buffer (see
     /// [`GossipConfig::pending_cap`]).
     pub pending_cap: usize,
+    /// The adversarial peer-defense engine (see [`crate::defense`];
+    /// disabled by default).
+    pub defense: DefenseConfig,
 }
 
 impl ShimConfig {
@@ -64,6 +68,7 @@ impl ShimConfig {
             max_requests_per_block: 1024,
             admission: AdmissionMode::default(),
             pending_cap: crate::gossip::DEFAULT_PENDING_CAP,
+            defense: DefenseConfig::default(),
         }
     }
 
@@ -100,12 +105,20 @@ impl ShimConfig {
         self
     }
 
+    /// Configures the peer-defense engine (scored admission, rate
+    /// limits, time-decaying bans; see [`crate::defense`]).
+    pub fn with_defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = defense;
+        self
+    }
+
     fn gossip(&self) -> GossipConfig {
         GossipConfig {
             n: self.protocol.n,
             fwd_retry_ms: self.fwd_retry_ms,
             admission: self.admission,
             pending_cap: self.pending_cap,
+            defense: self.defense,
         }
     }
 }
@@ -350,10 +363,13 @@ impl<P: DeterministicProtocol> Shim<P> {
         for (from, message) in messages {
             match message {
                 NetMessage::Block(block) => {
-                    let deferred = self.gossip.on_block(block, now);
+                    let deferred = self.gossip.on_block_from(from, block, now);
                     debug_assert!(deferred.is_empty(), "bracketed on_block defers commands");
                 }
                 NetMessage::FwdRequest(block_ref) => {
+                    if self.gossip.defense().is_banned(from, now) {
+                        continue;
+                    }
                     commands.extend(self.gossip.on_fwd_request(from, block_ref));
                 }
             }
@@ -366,6 +382,13 @@ impl<P: DeterministicProtocol> Shim<P> {
     /// Advances timers (`FWD` retries).
     pub fn on_tick(&mut self, now: TimeMs) -> Vec<NetCommand> {
         self.gossip.on_tick(now)
+    }
+
+    /// Reports `count` malformed frames received from `peer` — the
+    /// transport-level offense feed for the peer-defense engine (see
+    /// [`crate::defense`]).
+    pub fn note_malformed_frames(&mut self, peer: ServerId, count: u64, now: TimeMs) {
+        self.gossip.note_malformed_frames(peer, count, now);
     }
 
     /// Requests `gossip.disseminate()` (Algorithm 3, lines 10–11): seals

@@ -7,7 +7,9 @@
 //! field emitted here; `report_workload --check` fails when the two
 //! drift.
 
-use dagbft_core::{GossipStats, InterpreterFootprint, RecoveryReport, WaveStats};
+use dagbft_core::{
+    GossipStats, InterpreterFootprint, PeerDefense, RecoveryReport, TimeMs, WaveStats,
+};
 use dagbft_crypto::CryptoMetrics;
 
 use crate::registry::MetricsRegistry;
@@ -111,6 +113,33 @@ pub fn publish_peer(
     registry.set_counter(&format!("peer{peer}_recv_bytes"), recv_bytes);
 }
 
+/// Publishes the defense layer's observables: aggregate counters
+/// ([`dagbft_core::DefenseStats`] plus the audit-trail length) and, for
+/// every peer the scoring engine has touched, a live score gauge with
+/// throttle / ban counters (`peer<index>_*` names, normalized to
+/// `peer<i>_*` by the drift gate like the transport-traffic fields).
+/// Publishing nothing per-peer while the defense layer is disabled is
+/// intentional — untouched peers have no row.
+pub fn publish_defense(registry: &MetricsRegistry, defense: &PeerDefense, now: TimeMs) {
+    let stats = defense.stats();
+    registry.set_counter("defense_offenses", stats.offenses);
+    registry.set_counter("defense_throttled_blocks", stats.throttled_blocks);
+    registry.set_counter("defense_banned_blocks", stats.banned_blocks);
+    registry.set_counter("defense_bans", stats.bans);
+    registry.set_counter("defense_deprioritized", stats.deprioritized);
+    registry.set_counter("defense_events", defense.events().len() as u64);
+    for (peer, snapshot) in defense.snapshots(now) {
+        let peer = peer.index();
+        registry.set_gauge(&format!("peer{peer}_score"), snapshot.total);
+        registry.set_counter(
+            &format!("peer{peer}_throttled_blocks"),
+            snapshot.throttled_blocks,
+        );
+        registry.set_counter(&format!("peer{peer}_banned_blocks"), snapshot.banned_blocks);
+        registry.set_gauge(&format!("peer{peer}_banned"), snapshot.banned as u64);
+    }
+}
+
 /// Publishes node-level liveness gauges: uptime, DAG size, and the
 /// request backlog not yet sealed into a block.
 pub fn publish_node(
@@ -139,6 +168,13 @@ mod tests {
         publish_store_health(&registry, false, false);
         publish_peer(&registry, 0, 0, 0, 0, 0);
         publish_node(&registry, 0, 0, 0);
+        let mut defense = PeerDefense::new(dagbft_core::DefenseConfig::enabled());
+        defense.note_offense(
+            dagbft_crypto::ServerId::new(0),
+            dagbft_core::Offense::DuplicateFlood,
+            0,
+        );
+        publish_defense(&registry, &defense, 0);
         let names = registry.field_names();
         for expected in [
             "gossip_blocks_validated",
@@ -149,6 +185,9 @@ mod tests {
             "store_attached",
             "peer0_sent_bytes",
             "node_dag_blocks",
+            "defense_offenses",
+            "peer0_score",
+            "peer0_banned",
         ] {
             assert!(names.contains(expected), "missing field {expected}");
         }

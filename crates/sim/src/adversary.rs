@@ -14,7 +14,7 @@
 use std::collections::BTreeSet;
 
 use dagbft_core::{Block, Gossip, GossipConfig, LabeledRequest, NetCommand, NetMessage, TimeMs};
-use dagbft_crypto::{KeyRegistry, ServerId, Signer};
+use dagbft_crypto::{KeyRegistry, ServerId, Signature, Signer};
 
 /// The behaviour of one server in a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +50,24 @@ pub enum Role {
         /// Servers that receive this server's blocks directly.
         targets: BTreeSet<usize>,
     },
+    /// Byzantine: builds protocol-valid blocks but re-broadcasts each one
+    /// `repeat` times per round — a slow-loris-style resource hold that
+    /// stays just inside validity, soaking honest dedup and ingest
+    /// capacity with traffic that can never advance the DAG.
+    SlowLoris {
+        /// Copies of each block sent per round (clamped to at least 1).
+        repeat: usize,
+    },
+    /// Byzantine: until `until`, floods `per_round` forged blocks (null
+    /// signatures, distinct contents) per round, then switches to fully
+    /// correct behaviour — the probe for score decay: a reformed peer
+    /// must regain standing once its offenses age out.
+    FloodThenBehave {
+        /// First round time at which the server behaves honestly.
+        until: TimeMs,
+        /// Forged blocks sent per flooding round (clamped to at least 1).
+        per_round: usize,
+    },
 }
 
 impl Role {
@@ -57,7 +75,11 @@ impl Role {
     pub fn is_byzantine(&self) -> bool {
         matches!(
             self,
-            Role::Silent | Role::Equivocate { .. } | Role::SelectiveBroadcast { .. }
+            Role::Silent
+                | Role::Equivocate { .. }
+                | Role::SelectiveBroadcast { .. }
+                | Role::SlowLoris { .. }
+                | Role::FloodThenBehave { .. }
         )
     }
 }
@@ -163,6 +185,42 @@ impl ByzServer {
                     .filter(|t| **t != self.me().index())
                     .map(|t| (ServerId::new(*t as u32), NetMessage::Block(block.clone())))
                     .collect()
+            }
+            Role::SlowLoris { repeat } => {
+                let (block, _) = self.gossip.disseminate(vec![], now);
+                let mut out = Vec::new();
+                for _ in 0..repeat.max(1) {
+                    out.extend(self.broadcast_to_all(block.clone()));
+                }
+                out
+            }
+            Role::FloodThenBehave { until, per_round } => {
+                if now < until {
+                    // Forged junk: null signatures over distinct contents,
+                    // so every copy costs the receiver a failed verification
+                    // before it can be rejected.
+                    let seq = self.gossip.next_seq();
+                    let mut out = Vec::new();
+                    for i in 0..per_round.max(1) {
+                        let forged = Block::build_with_signature(
+                            self.me(),
+                            seq,
+                            vec![],
+                            vec![LabeledRequest {
+                                label: dagbft_core::Label::new(
+                                    now.wrapping_mul(1_000_003).wrapping_add(i as u64),
+                                ),
+                                payload: bytes_lit(b"flood"),
+                            }],
+                            Signature::NULL,
+                        );
+                        out.extend(self.broadcast_to_all(forged));
+                    }
+                    out
+                } else {
+                    let (block, _) = self.gossip.disseminate(vec![], now);
+                    self.broadcast_to_all(block)
+                }
             }
             Role::Correct | Role::Crash { .. } | Role::Restart { .. } => {
                 unreachable!("checked in new()")
@@ -283,6 +341,69 @@ mod tests {
             })
             .collect();
         assert_eq!(distinct.len(), 1, "single chain after the fork");
+    }
+
+    #[test]
+    fn slow_loris_repeats_valid_blocks() {
+        let registry = registry(4);
+        let mut server = ByzServer::new(
+            ServerId::new(0),
+            4,
+            Role::SlowLoris { repeat: 5 },
+            &registry,
+        );
+        let sends = server.disseminate(0);
+        // 5 copies × 3 targets, all the same valid block.
+        assert_eq!(sends.len(), 15);
+        let distinct: BTreeSet<_> = sends
+            .iter()
+            .map(|(_, m)| match m {
+                NetMessage::Block(b) => b.block_ref(),
+                _ => panic!("expected block"),
+            })
+            .collect();
+        assert_eq!(distinct.len(), 1, "one block, many copies");
+        for (_, message) in &sends {
+            let NetMessage::Block(block) = message else {
+                panic!("expected block");
+            };
+            assert!(block.verify_signature(&registry.verifier()));
+        }
+    }
+
+    #[test]
+    fn flood_then_behave_switches_to_honesty() {
+        let registry = registry(4);
+        let mut server = ByzServer::new(
+            ServerId::new(0),
+            4,
+            Role::FloodThenBehave {
+                until: 1_000,
+                per_round: 4,
+            },
+            &registry,
+        );
+        let flood = server.disseminate(0);
+        // 4 forged blocks × 3 targets, none of them verifiable.
+        assert_eq!(flood.len(), 12);
+        let mut refs = BTreeSet::new();
+        for (_, message) in &flood {
+            let NetMessage::Block(block) = message else {
+                panic!("expected block");
+            };
+            assert!(!block.verify_signature(&registry.verifier()));
+            refs.insert(block.block_ref());
+        }
+        assert_eq!(refs.len(), 4, "distinct contents per forged block");
+        // Past `until`: honest dissemination, one valid block to everyone.
+        let honest = server.disseminate(1_000);
+        assert_eq!(honest.len(), 3);
+        for (_, message) in &honest {
+            let NetMessage::Block(block) = message else {
+                panic!("expected block");
+            };
+            assert!(block.verify_signature(&registry.verifier()));
+        }
     }
 
     #[test]

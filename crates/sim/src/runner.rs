@@ -8,12 +8,13 @@
 //! retries on another. Everything — keys, latencies, drops, event order —
 //! derives from the seed, so runs are exactly reproducible.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use dagbft_codec::{WireDecode, WireEncode};
 use dagbft_core::{
-    AdmissionMode, BlockStore, DeterministicProtocol, Label, NetCommand, NetMessage,
-    ProtocolConfig, RecoverError, RecoveryReport, Shim, ShimConfig, SnapshotProtocol, TimeMs,
+    accountability, AdmissionMode, BlockStore, DefenseConfig, DeterministicProtocol, Label,
+    NetCommand, NetMessage, ProtocolConfig, RecoverError, RecoveryReport, Shim, ShimConfig,
+    SnapshotProtocol, TimeMs,
 };
 use dagbft_crypto::{KeyRegistry, SchemeKind, ServerId};
 use rand::rngs::StdRng;
@@ -99,6 +100,11 @@ pub struct SimConfig {
     /// sequences are identical under both; only signature bytes and
     /// per-operation cost differ.
     pub scheme: SchemeKind,
+    /// Peer-defense configuration for every correct server (scored
+    /// admission, rate limits, bans — see `dagbft_core::DefenseConfig`).
+    /// Disabled by default: every pinned fingerprint predates the defense
+    /// layer and must stay byte-identical without it.
+    pub defense: DefenseConfig,
 }
 
 impl SimConfig {
@@ -120,6 +126,7 @@ impl SimConfig {
             ingest: IngestMode::default(),
             pending_cap: dagbft_core::DEFAULT_PENDING_CAP,
             scheme: SchemeKind::default(),
+            defense: DefenseConfig::default(),
         }
     }
 
@@ -183,6 +190,12 @@ impl SimConfig {
         self
     }
 
+    /// Configures the peer-defense layer on every correct server.
+    pub fn with_defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = defense;
+        self
+    }
+
     /// Number of byzantine servers configured.
     pub fn byzantine_count(&self) -> usize {
         self.roles.values().filter(|r| r.is_byzantine()).count()
@@ -235,6 +248,13 @@ pub struct SimOutcome<P: DeterministicProtocol> {
     /// Durable crash–recoveries performed during the run, in time order:
     /// `(at, server, report)`.
     pub recoveries: Vec<(TimeMs, ServerId, RecoveryReport)>,
+    /// Transferable equivocation proofs extractable from the correct
+    /// servers' final DAGs (§6 accountability;
+    /// `accountability::collect_proofs` aggregated and deduplicated by
+    /// `(accused, seq)` across servers).
+    pub equivocation_proofs: usize,
+    /// Builders convicted by at least one of those proofs.
+    pub accused: BTreeSet<ServerId>,
     /// The servers, for post-run inspection (DAGs, interpreter stats).
     servers: Vec<ServerView<P>>,
 }
@@ -385,7 +405,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
         let shim_config = ShimConfig::new(config.protocol)
             .with_max_requests_per_block(config.max_requests_per_block)
             .with_admission(config.admission)
-            .with_pending_cap(config.pending_cap);
+            .with_pending_cap(config.pending_cap)
+            .with_defense(config.defense);
         let mut servers = Vec::with_capacity(config.n);
         for index in 0..config.n {
             let role = config.roles.get(&index).cloned().unwrap_or(Role::Correct);
@@ -505,9 +526,18 @@ impl<P: DeterministicProtocol> Simulation<P> {
         }
         let finished_at = self.queue.now();
         let mut wave_stats = dagbft_core::WaveStats::default();
+        // Aggregate §6 accountability over the correct servers: every
+        // proof any of them can extract, deduplicated by (accused, seq)
+        // — the same fork seen by two servers is one conviction.
+        let mut convictions: BTreeSet<(ServerId, dagbft_core::SeqNum)> = BTreeSet::new();
+        let mut accused: BTreeSet<ServerId> = BTreeSet::new();
         for server in &self.servers {
             if let Server::Correct(shim) = server {
                 wave_stats.merge(shim.gossip().wave_stats());
+                for proof in accountability::collect_proofs(shim.dag()) {
+                    convictions.insert((proof.accused(), proof.blocks().0.seq()));
+                    accused.insert(proof.accused());
+                }
             }
         }
         SimOutcome {
@@ -523,6 +553,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
             finished_at,
             injected_at: self.injected_at,
             recoveries: self.recoveries,
+            equivocation_proofs: convictions.len(),
+            accused,
             servers: self
                 .servers
                 .into_iter()
@@ -665,7 +697,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
         let shim_config = ShimConfig::new(self.config.protocol)
             .with_max_requests_per_block(self.config.max_requests_per_block)
             .with_admission(self.config.admission)
-            .with_pending_cap(self.config.pending_cap);
+            .with_pending_cap(self.config.pending_cap)
+            .with_defense(self.config.defense);
         let mut shim = Shim::recover(
             ServerId::new(server as u32),
             shim_config,
@@ -700,7 +733,8 @@ impl<P: DeterministicProtocol> Simulation<P> {
         let shim_config = ShimConfig::new(self.config.protocol)
             .with_max_requests_per_block(self.config.max_requests_per_block)
             .with_admission(self.config.admission)
-            .with_pending_cap(self.config.pending_cap);
+            .with_pending_cap(self.config.pending_cap)
+            .with_defense(self.config.defense);
         let (mut recovered, report) = hook(
             ServerId::new(server as u32),
             shim_config,

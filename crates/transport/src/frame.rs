@@ -103,6 +103,17 @@ pub fn read_net_message<R: Read>(reader: &mut R) -> io::Result<NetMessage> {
 /// Default number of frame buffers a [`FrameArena`] tracks for recycling.
 pub const DEFAULT_ARENA_BUFFERS: usize = 64;
 
+/// Largest buffer capacity the arena will pool for reuse (256 KiB).
+///
+/// Frames may legitimately reach [`MAX_FRAME_LEN`], but *pooling* such
+/// buffers would let a slow-loris peer pin
+/// `buffers × MAX_FRAME_LEN` ≈ 1 GiB of idle capacity per connection by
+/// announcing giant length prefixes and never completing the frames.
+/// Oversized buffers are served and then dropped — only modest ones
+/// re-enter the pool, bounding each connection's spare memory to
+/// `buffers × MAX_SPARE_BUFFER_BYTES` (16 MiB with the defaults).
+pub const MAX_SPARE_BUFFER_BYTES: usize = 256 * 1024;
+
 /// Usage counters of one [`FrameArena`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FrameArenaStats {
@@ -181,7 +192,9 @@ impl FrameArena {
             match handle.try_reclaim() {
                 Ok(buffer) => {
                     reclaimed += 1;
-                    if self.spares.len() < self.buffers {
+                    if self.spares.len() < self.buffers
+                        && buffer.capacity() <= MAX_SPARE_BUFFER_BYTES
+                    {
                         self.spares.push(buffer);
                     }
                 }
@@ -214,7 +227,7 @@ impl FrameArena {
     /// it can be reused immediately instead of leaking out of the pool.
     pub fn release(&mut self, mut buffer: Vec<u8>) {
         self.stats.released += 1;
-        if self.spares.len() < self.buffers {
+        if self.spares.len() < self.buffers && buffer.capacity() <= MAX_SPARE_BUFFER_BYTES {
             buffer.clear();
             self.spares.push(buffer);
         }
@@ -331,9 +344,36 @@ pub fn read_net_message_pooled<R: Read>(
     }
     let payload = Bytes::from(buffer);
     let message = decode_from_bytes(&payload)
-        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()));
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, CorruptPayload(err.to_string())));
     arena.track(payload);
     message
+}
+
+/// Error payload marking a frame whose body was fully consumed but failed
+/// to decode. The stream is still frame-synced after this error — the
+/// length prefix already drained the bad payload — so a reader may count
+/// the offense against the peer and keep reading (see
+/// [`is_corrupt_payload`]). Every other framing error leaves the stream
+/// position unreliable and must drop the connection.
+#[derive(Debug)]
+struct CorruptPayload(String);
+
+impl std::fmt::Display for CorruptPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt frame payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptPayload {}
+
+/// Whether `err` marks a fully consumed, frame-synced-but-undecodable
+/// payload from [`read_net_message_pooled`] — the one framing error a
+/// reader can survive without desynchronising.
+pub fn is_corrupt_payload(err: &io::Error) -> bool {
+    err.kind() == io::ErrorKind::InvalidData
+        && err
+            .get_ref()
+            .is_some_and(|inner| inner.is::<CorruptPayload>())
 }
 
 /// The first frame on every outbound connection: the sender's identity.

@@ -232,6 +232,9 @@ where
         let now_ms = |start: Instant| -> TimeMs { start.elapsed().as_millis() as TimeMs };
         let mut next_disseminate = 0;
         let mut next_tick = pacing.tick_every_ms;
+        // Per-peer decode-error counts already charged to the defense
+        // layer, so each tick feeds only the delta.
+        let mut charged_decode_errors = vec![0u64; transport.peer_traffic().len()];
         loop {
             // Run timers that are due.
             let now = now_ms(start);
@@ -244,6 +247,7 @@ where
                 let commands = shim.on_tick(now);
                 route(&transport, commands);
                 next_tick = now + pacing.tick_every_ms;
+                sync_defense(&mut shim, &transport, &mut charged_decode_errors, now);
                 if let Some(metrics) = metrics.as_ref() {
                     publish_node_metrics(metrics, &shim, &transport, &registry, now);
                 }
@@ -305,6 +309,38 @@ where
     }
 }
 
+/// Couples the shim's defense layer to the transport, on the tick
+/// cadence: malformed frames counted by the reader threads are charged
+/// to their peers as [`dagbft_core::Offense::MalformedFrame`] offenses
+/// (delta since the last tick — the reader only counts, the defense
+/// layer scores), and every active ban the scoring engine holds is
+/// mirrored into the transport's connection-level ban table so a banned
+/// peer's reconnects are refused at the socket, before any frame is
+/// decoded.
+fn sync_defense<P>(
+    shim: &mut Shim<P>,
+    transport: &TcpTransport,
+    charged_decode_errors: &mut [u64],
+    now: TimeMs,
+) where
+    P: DeterministicProtocol,
+{
+    if !shim.gossip().defense().is_enabled() {
+        return;
+    }
+    for (peer, traffic) in transport.peer_traffic().iter().enumerate() {
+        let seen = traffic.recv_decode_errors;
+        let charged = &mut charged_decode_errors[peer];
+        if seen > *charged {
+            shim.note_malformed_frames(ServerId::new(peer as u32), seen - *charged, now);
+            *charged = seen;
+        }
+    }
+    for (peer, until) in shim.gossip().defense().bans(now) {
+        transport.ban_peer(peer, Duration::from_millis(until.saturating_sub(now)));
+    }
+}
+
 /// Mirrors every live counter the node owns into the endpoint's
 /// registry: gossip admission, wave/burst shape, interpreter footprint,
 /// crypto totals, store health, per-peer transport traffic, and
@@ -321,6 +357,7 @@ fn publish_node_metrics<P>(
 {
     publish::publish_gossip(metrics, shim.gossip().stats());
     publish::publish_waves(metrics, shim.gossip().wave_stats());
+    publish::publish_defense(metrics, shim.gossip().defense(), now);
     publish::publish_footprint(metrics, &shim.footprint());
     publish::publish_crypto(metrics, registry.metrics());
     publish::publish_store_health(metrics, shim.store_attached(), shim.store_error().is_some());

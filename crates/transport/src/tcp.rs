@@ -5,13 +5,15 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dagbft_core::NetMessage;
 use dagbft_crypto::ServerId;
 
-use crate::frame::{read_net_message_pooled, write_frame, write_net_message, FrameArena, Hello};
+use crate::frame::{
+    is_corrupt_payload, read_net_message_pooled, write_frame, write_net_message, FrameArena, Hello,
+};
 
 const POLL: Duration = Duration::from_millis(25);
 /// First reconnect delay; doubles per failed attempt up to [`BACKOFF_MAX`].
@@ -21,6 +23,60 @@ const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
 const BACKOFF_MAX: Duration = Duration::from_millis(1_600);
 /// Connect attempts per [`connect_with_hello`] burst (50 → 800 ms sleeps).
 const CONNECT_ATTEMPTS: u32 = 6;
+/// Maximum reconnect jitter (exclusive); see [`reconnect_jitter`].
+const JITTER_SPREAD_MS: u64 = 40;
+/// Maximum concurrent inbound reader threads. Connections accepted past
+/// the cap are dropped immediately — an unauthenticated churner must not
+/// grow the thread count (or the `JoinHandle` list) without bound.
+const MAX_INBOUND_READERS: usize = 256;
+
+/// Deterministic per-link reconnect jitter, derived from the two server
+/// identities rather than wall clock or randomness: when a whole cluster
+/// restarts at once, every sender backing off toward the same recovering
+/// peer would otherwise wake in lockstep (they share `BACKOFF_INITIAL`)
+/// and thundering-herd its accept queue. Spreading each directed link by
+/// a stable 0–39 ms keeps reconnect storms apart while remaining fully
+/// reproducible.
+fn reconnect_jitter(me: ServerId, peer_index: usize) -> Duration {
+    let spread = (me.index() as u64 * 31 + peer_index as u64 * 17 + 7) % JITTER_SPREAD_MS;
+    Duration::from_millis(spread)
+}
+
+/// Lock-free table of per-peer inbound bans, in milliseconds since the
+/// transport started (`0` = not banned). The node event loop mirrors the
+/// defense engine's time-decaying bans in here; the accept/reader side
+/// consults it to refuse banned peers' connections and data.
+#[derive(Debug)]
+struct BanTable {
+    started: Instant,
+    deadlines: Vec<AtomicU64>,
+}
+
+impl BanTable {
+    fn new(peers: usize) -> Self {
+        BanTable {
+            started: Instant::now(),
+            deadlines: (0..peers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn ban(&self, peer: usize, remaining: Duration) {
+        if let Some(deadline) = self.deadlines.get(peer) {
+            let until = self.elapsed_ms() + remaining.as_millis() as u64;
+            deadline.store(until.max(1), Ordering::Relaxed);
+        }
+    }
+
+    fn is_banned(&self, peer: usize) -> bool {
+        self.deadlines
+            .get(peer)
+            .is_some_and(|deadline| self.elapsed_ms() < deadline.load(Ordering::Relaxed))
+    }
+}
 
 /// Per-peer traffic counters, updated lock-free by the sender and reader
 /// threads. Bytes count the message's canonical wire encoding
@@ -33,6 +89,9 @@ struct PeerTraffic {
     sent_bytes: AtomicU64,
     recv_msgs: AtomicU64,
     recv_bytes: AtomicU64,
+    /// Frames from this peer that were fully read but failed to decode —
+    /// the wire-level offense the node loop feeds into the defense engine.
+    recv_decode_errors: AtomicU64,
 }
 
 /// A point-in-time copy of one peer's [`TcpTransport`] traffic counters
@@ -47,6 +106,8 @@ pub struct PeerTrafficSnapshot {
     pub recv_msgs: u64,
     /// Wire bytes of those messages.
     pub recv_bytes: u64,
+    /// Frames from this peer that read completely but failed to decode.
+    pub recv_decode_errors: u64,
 }
 
 /// A TCP transport endpoint for one server.
@@ -64,6 +125,7 @@ pub struct TcpTransport {
     outboxes: Vec<Sender<NetMessage>>,
     incoming_rx: Receiver<(ServerId, NetMessage)>,
     traffic: Arc<Vec<PeerTraffic>>,
+    bans: Arc<BanTable>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -83,6 +145,7 @@ impl TcpTransport {
         let (incoming_tx, incoming_rx) = unbounded();
         let traffic: Arc<Vec<PeerTraffic>> =
             Arc::new((0..peers.len()).map(|_| PeerTraffic::default()).collect());
+        let bans = Arc::new(BanTable::new(peers.len()));
         let mut threads = Vec::new();
 
         // Accept loop: spawns a reader thread per connection.
@@ -90,8 +153,9 @@ impl TcpTransport {
             let shutdown = shutdown.clone();
             let incoming_tx = incoming_tx.clone();
             let traffic = traffic.clone();
+            let bans = bans.clone();
             threads.push(std::thread::spawn(move || {
-                accept_loop(listener, incoming_tx, traffic, shutdown);
+                accept_loop(listener, incoming_tx, traffic, bans, shutdown);
             }));
         }
 
@@ -117,6 +181,7 @@ impl TcpTransport {
             outboxes,
             incoming_rx,
             traffic,
+            bans,
             shutdown,
             threads,
         })
@@ -169,8 +234,24 @@ impl TcpTransport {
                 sent_bytes: peer.sent_bytes.load(Ordering::Relaxed),
                 recv_msgs: peer.recv_msgs.load(Ordering::Relaxed),
                 recv_bytes: peer.recv_bytes.load(Ordering::Relaxed),
+                recv_decode_errors: peer.recv_decode_errors.load(Ordering::Relaxed),
             })
             .collect()
+    }
+
+    /// Bans `peer` from delivering inbound traffic for `remaining`:
+    /// its live reader connections close on their next message and fresh
+    /// connections are refused right after the identifying `Hello` —
+    /// re-banning extends the deadline, and it decays on its own. The
+    /// node event loop mirrors the defense engine's time-decaying bans
+    /// through this.
+    pub fn ban_peer(&self, peer: ServerId, remaining: Duration) {
+        self.bans.ban(peer.index(), remaining);
+    }
+
+    /// Whether `peer`'s inbound traffic is currently refused.
+    pub fn is_banned(&self, peer: ServerId) -> bool {
+        self.bans.is_banned(peer.index())
     }
 
     /// Stops all transport threads and waits for them.
@@ -194,17 +275,26 @@ fn accept_loop(
     listener: TcpListener,
     incoming_tx: Sender<(ServerId, NetMessage)>,
     traffic: Arc<Vec<PeerTraffic>>,
+    bans: Arc<BanTable>,
     shutdown: Arc<AtomicBool>,
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Reap finished readers first: a connect/disconnect
+                // churner must not grow the handle list unboundedly.
+                readers.retain(|reader| !reader.is_finished());
+                if readers.len() >= MAX_INBOUND_READERS {
+                    drop(stream);
+                    continue;
+                }
                 let incoming_tx = incoming_tx.clone();
                 let shutdown = shutdown.clone();
                 let traffic = traffic.clone();
+                let bans = bans.clone();
                 readers.push(std::thread::spawn(move || {
-                    reader_loop(stream, incoming_tx, traffic, shutdown);
+                    reader_loop(stream, incoming_tx, traffic, bans, shutdown);
                 }));
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
@@ -222,6 +312,7 @@ fn reader_loop(
     stream: TcpStream,
     incoming_tx: Sender<(ServerId, NetMessage)>,
     traffic: Arc<Vec<PeerTraffic>>,
+    bans: Arc<BanTable>,
     shutdown: Arc<AtomicBool>,
 ) {
     let mut stream = stream;
@@ -234,6 +325,13 @@ fn reader_loop(
         Some(hello) => hello.from,
         None => return,
     };
+    // The reconnect gate of the defense layer's time-decaying bans: a
+    // banned peer's connection is dropped as soon as it names itself, and
+    // the per-message check below closes connections that were already up
+    // when the ban landed.
+    if bans.is_banned(from.index()) {
+        return;
+    }
     // Blocks decoded here slice a pooled frame buffer (zero-copy receive
     // with buffer recycling): see `frame::read_net_message_pooled`. One
     // arena per connection, so a burst arriving off one socket reuses the
@@ -241,11 +339,11 @@ fn reader_loop(
     // requests, rejected blocks).
     let mut arena = FrameArena::default();
     while !shutdown.load(Ordering::SeqCst) {
-        let received = read_retry(&mut stream, &shutdown, |stream| {
-            read_net_message_pooled(stream, &mut arena)
-        });
-        match received {
-            Some(message) => {
+        if bans.is_banned(from.index()) {
+            return;
+        }
+        match read_net_message_pooled(&mut stream, &mut arena) {
+            Ok(message) => {
                 if let Some(peer) = traffic.get(from.index()) {
                     peer.recv_msgs.fetch_add(1, Ordering::Relaxed);
                     peer.recv_bytes
@@ -255,7 +353,22 @@ fn reader_loop(
                     return;
                 }
             }
-            None => return,
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(err) if is_corrupt_payload(&err) => {
+                // The bad payload was fully drained — the stream is still
+                // frame-synced, so count the offense and keep reading
+                // rather than handing the peer a free reconnect cycle.
+                if let Some(peer) = traffic.get(from.index()) {
+                    peer.recv_decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            Err(_) => return,
         }
     }
 }
@@ -292,6 +405,9 @@ fn sender_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let mut connection: Option<TcpStream> = None;
+    // Deterministic per-link jitter added to every backoff wait (see
+    // `reconnect_jitter`).
+    let jitter = reconnect_jitter(me, peer_index);
     // After a full failed connect burst the peer is marked down until this
     // deadline: queued messages drain (dropped — gossip's FWD mechanism
     // recovers missing blocks) without each one paying a connect burst.
@@ -307,10 +423,10 @@ fn sender_loop(
         if connection.is_none() {
             let now = std::time::Instant::now();
             if down_until.is_none_or(|deadline| now >= deadline) {
-                connection = connect_with_hello(me, peer, &shutdown);
+                connection = connect_with_hello(me, peer, jitter, &shutdown);
                 down_until = match connection {
                     Some(_) => None,
-                    None => Some(now + BACKOFF_MAX),
+                    None => Some(now + BACKOFF_MAX + jitter),
                 };
             }
         }
@@ -321,7 +437,7 @@ fn sender_loop(
             written = write_net_message(stream, &message).is_ok();
             if !written {
                 // Reconnect once and retry this message.
-                connection = connect_with_hello(me, peer, &shutdown);
+                connection = connect_with_hello(me, peer, jitter, &shutdown);
                 if let Some(stream) = connection.as_mut() {
                     written = write_net_message(stream, &message).is_ok();
                     if !written {
@@ -329,7 +445,7 @@ fn sender_loop(
                     }
                 }
                 if connection.is_none() {
-                    down_until = Some(std::time::Instant::now() + BACKOFF_MAX);
+                    down_until = Some(std::time::Instant::now() + BACKOFF_MAX + jitter);
                 }
             }
         }
@@ -346,8 +462,14 @@ fn sender_loop(
 
 /// One bounded reconnect burst: [`CONNECT_ATTEMPTS`] attempts with
 /// exponential backoff from [`BACKOFF_INITIAL`] capped at [`BACKOFF_MAX`],
-/// abandoning promptly on shutdown.
-fn connect_with_hello(me: ServerId, peer: SocketAddr, shutdown: &AtomicBool) -> Option<TcpStream> {
+/// each wait stretched by the link's deterministic `jitter` (see
+/// [`reconnect_jitter`]), abandoning promptly on shutdown.
+fn connect_with_hello(
+    me: ServerId,
+    peer: SocketAddr,
+    jitter: Duration,
+    shutdown: &AtomicBool,
+) -> Option<TcpStream> {
     let mut backoff = BACKOFF_INITIAL;
     for attempt in 0..CONNECT_ATTEMPTS {
         if shutdown.load(Ordering::SeqCst) {
@@ -362,7 +484,7 @@ fn connect_with_hello(me: ServerId, peer: SocketAddr, shutdown: &AtomicBool) -> 
             }
         }
         if attempt + 1 < CONNECT_ATTEMPTS {
-            sleep_interruptible(backoff, shutdown);
+            sleep_interruptible(backoff + jitter, shutdown);
             backoff = (backoff * 2).min(BACKOFF_MAX);
         }
     }
